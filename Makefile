@@ -1,0 +1,26 @@
+# Verification loop for the reproduction (see DESIGN.md §6).
+
+.PHONY: all build vet test race bench experiments cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/experiments -run all
+
+cover:
+	go test -cover ./...

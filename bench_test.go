@@ -1,0 +1,452 @@
+// Benchmark harness: one benchmark per paper artifact (see the experiment
+// index in DESIGN.md) plus scaling and ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/generalize"
+	"repro/internal/hierdata"
+	"repro/internal/policydsl"
+	"repro/internal/population"
+	"repro/internal/ppdb"
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// BenchmarkTable1 regenerates the Sec. 8 worked example (E1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if !r.Matches() {
+			b.Fatal("Table 1 reproduction diverged")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the violation-geometry cases (E2).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(experiments.Figure1()); got != 11 {
+			b.Fatalf("cases = %d", got)
+		}
+	}
+}
+
+// BenchmarkFigure2 runs the notation walk-through on a live PPDB (E3).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpansion runs the Sec. 9 utility trade-off sweep (E4).
+func BenchmarkExpansion(b *testing.B) {
+	cfg := experiments.ExpansionConfig{N: 2000, Seed: 2011, BaseUtility: 10, StepUtility: 2, Steps: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Expansion(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Optimal < 0 {
+			b.Fatal("no optimum")
+		}
+	}
+}
+
+// BenchmarkAccumulation runs the violation-accumulation series (E5).
+func BenchmarkAccumulation(b *testing.B) {
+	cfg := experiments.ExpansionConfig{N: 2000, Seed: 2011, BaseUtility: 10, StepUtility: 2, Steps: 6}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Accumulation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimator runs the Defs. 2/5 estimator convergence ladder (E6).
+func BenchmarkEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Estimator(1000, 5, []int{10, 100, 1000, 10000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlphaPPDB runs the α-certification sweep (E7).
+func BenchmarkAlphaPPDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AlphaSweep(1000, 3, 5, experiments.DefaultAlphas()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineContrast runs the internal-vs-external risk contrast (E8).
+func BenchmarkBaselineContrast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BaselineContrast(300, 11, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the model-variant study.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(500, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- scaling micro-benches ---
+
+// benchPopulation builds a reusable assessor + population of size n.
+func benchPopulation(b *testing.B, n int) (*core.Assessor, []*privacy.Prefs) {
+	b.Helper()
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+			{Name: "income", Sensitivity: 5, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := population.PrefsOf(gen.Generate(n))
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("weight", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	hp.Add("income", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	a, err := core.NewAssessor(hp, gen.AttributeSensitivities(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, pop
+}
+
+// BenchmarkAssessPopulation measures P(W)/P(Default)/Violations computation
+// throughput at three population sizes.
+func BenchmarkAssessPopulation(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		a, pop := benchPopulation(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := a.AssessPopulation(pop)
+				if rep.N != n {
+					b.Fatal("wrong N")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatePW measures the trial-based Def. 2 estimator.
+func BenchmarkEstimatePW(b *testing.B) {
+	a, pop := benchPopulation(b, 1000)
+	rng := population.NewRNG(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.EstimatePW(pop, 10000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLSelect measures the relational engine's filtered scan.
+func BenchmarkSQLSelect(b *testing.B) {
+	db := relational.NewDatabase()
+	db.MustExec("CREATE TABLE t (id INT PRIMARY KEY, grp INT, val FLOAT)")
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{{Name: "x", Sensitivity: 1, Purposes: []privacy.Purpose{"p"}}},
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = gen
+	tab, _ := db.Table("t")
+	for i := 0; i < 10000; i++ {
+		if _, err := tab.Insert(relational.Row{
+			relational.Int(int64(i)), relational.Int(int64(i % 100)), relational.Float(float64(i) * 1.5),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query("SELECT grp, COUNT(*) AS n, AVG(val) AS m FROM t WHERE val > 100 GROUP BY grp ORDER BY n DESC LIMIT 10")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatal("wrong result")
+		}
+	}
+}
+
+// BenchmarkKAnonSearch measures the full-domain lattice search baseline.
+func BenchmarkKAnonSearch(b *testing.B) {
+	schema, err := population.MicrodataSchema()
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := relational.NewTable("m", schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"p"}}},
+	}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := table.Insert(gen.MicrodataRow(sizeName(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ageH, _ := generalize.NewNumericHierarchy(10, 2, 3)
+	cityH, _ := generalize.NewCategoryHierarchy(map[string]string{
+		"calgary": "west", "edmonton": "west", "vancouver": "west",
+		"toronto": "east", "montreal": "east", "west": "canada", "east": "canada",
+	})
+	an, err := generalize.NewAnonymizer(table, map[string]generalize.Hierarchy{"age": ageH, "city": cityH}, "condition")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := an.SearchK(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rel.IsKAnonymous(4) {
+			b.Fatal("not anonymous")
+		}
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md §5) ---
+
+// BenchmarkImplicitZero contrasts assessment with and without the Sec. 5
+// implicit-zero rule.
+func BenchmarkImplicitZero(b *testing.B) {
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := population.PrefsOf(gen.Generate(1000))
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("weight", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	hp.Add("weight", privacy.Tuple{Purpose: "analytics", Visibility: 2, Granularity: 2, Retention: 2})
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"with-rule", core.Options{}},
+		{"without-rule", core.Options{DisableImplicitZero: true}},
+	} {
+		a, err := core.NewAssessor(hp, gen.AttributeSensitivities(), variant.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.AssessPopulation(pop)
+			}
+		})
+	}
+}
+
+// BenchmarkPurposeLattice contrasts equality matching with lattice matching.
+func BenchmarkPurposeLattice(b *testing.B) {
+	lattice := privacy.NewLattice()
+	if err := lattice.AddEdge("service", "service-analytics"); err != nil {
+		b.Fatal(err)
+	}
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := population.PrefsOf(gen.Generate(1000))
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("weight", privacy.Tuple{Purpose: "service-analytics", Visibility: 2, Granularity: 2, Retention: 2})
+	for _, variant := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"equality", core.Options{}},
+		{"lattice", core.Options{Matcher: lattice}},
+	} {
+		a, err := core.NewAssessor(hp, gen.AttributeSensitivities(), variant.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.AssessPopulation(pop)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000 && n%1000 == 0:
+		return itoa(n/1000) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkGame runs the Stackelberg policy game (E9).
+func BenchmarkGame(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Game(500, 2011, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PayoffGain < 0 {
+			b.Fatal("incentives regressed the optimum")
+		}
+	}
+}
+
+// BenchmarkLegacy runs the Sec. 10 default-estimation study (E10).
+func BenchmarkLegacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Legacy(1000, 41, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierdataAssess measures the XML-extension assessor on a
+// moderately deep document.
+func BenchmarkHierdataAssess(b *testing.B) {
+	doc, err := hierdata.ParseXML(strings.NewReader(`
+<patient>
+  <name>M</name>
+  <contact><email>m@x</email><phone>5</phone></contact>
+  <vitals><weight>61</weight><condition>a</condition><bp>120</bp></vitals>
+  <billing><card>4111</card><balance>12</balance></billing>
+</patient>`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := hierdata.NewPathPolicy("v1")
+	pol.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	pol.Add("/patient/vitals", privacy.Tuple{Purpose: "research", Visibility: 3, Granularity: 2, Retention: 3})
+	prefs := hierdata.NewPathPrefs("m", 40)
+	prefs.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	a := &hierdata.Assessor{Policy: pol, PathSens: map[string]float64{"/patient/vitals": 4}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AssessDocument(doc, prefs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSLParse measures policy-corpus parsing throughput.
+func BenchmarkDSLParse(b *testing.B) {
+	src, err := os.ReadFile("examples/corpus/clinic.dsl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := policydsl.Parse(string(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetentionSweep measures the PPDB retention sweeper over 2k rows.
+func BenchmarkRetentionSweep(b *testing.B) {
+	hp := privacy.NewHousePolicy("p")
+	hp.Add("provider", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	hp.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	db, err := ppdb.New(ppdb.Config{Policy: hp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema, err := relational.NewSchema([]relational.Column{
+		{Name: "provider", Type: relational.TypeText, PrimaryKey: true},
+		{Name: "weight", Type: relational.TypeFloat},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterTable("t", schema, "provider"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		name := "p" + itoa(i)
+		p := privacy.NewPrefs(name, 100)
+		if err := db.RegisterProvider(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Insert("t", name, relational.Row{
+			relational.Text(name), relational.Float(float64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Sweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkXMLParity runs the flat/hierarchical parity check (E11).
+func BenchmarkXMLParity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.XMLParity(300, 2011)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AllAgree {
+			b.Fatal("parity broken")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's tables and figures and the
+// extended experiment suite defined in DESIGN.md. Each experiment prints an
+// aligned text table; EXPERIMENTS.md records the canonical output.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1
+//	experiments -run expansion -n 10000 -seed 2011
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1, figure1, figure2, expansion, accumulation, estimator, alpha, baseline, ablations, all")
+	n := flag.Int("n", 5000, "population size for population-scale experiments")
+	seed := flag.Uint64("seed", 2011, "deterministic generator seed")
+	steps := flag.Int("steps", 8, "widening steps for expansion-style experiments")
+	k := flag.Int("k", 3, "k for the k-anonymity baseline release")
+	flag.Parse()
+
+	names := strings.Split(*run, ",")
+	if *run == "all" {
+		names = []string{"table1", "figure1", "figure2", "expansion", "accumulation", "estimator", "alpha", "baseline", "ablations", "game", "legacy", "xmlparity"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println(strings.Repeat("=", 78))
+			fmt.Println()
+		}
+		if err := runOne(strings.TrimSpace(name), *n, *seed, *steps, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(name string, n int, seed uint64, steps, k int) error {
+	w := os.Stdout
+	switch name {
+	case "table1":
+		r := experiments.Table1()
+		if err := r.Fprint(w); err != nil {
+			return err
+		}
+		if !r.Matches() {
+			return fmt.Errorf("reproduction DIVERGES from the paper")
+		}
+		fmt.Fprintln(w, "\nreproduction matches the paper: YES")
+		return nil
+	case "figure1":
+		return experiments.FprintFigure1(w, experiments.Figure1())
+	case "figure2":
+		return experiments.Figure2(w)
+	case "expansion":
+		cfg := experiments.DefaultExpansionConfig()
+		cfg.N, cfg.Seed, cfg.Steps = n, seed, steps
+		r, err := experiments.Expansion(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "accumulation":
+		cfg := experiments.DefaultExpansionConfig()
+		cfg.N, cfg.Seed, cfg.Steps = n, seed, steps
+		r, err := experiments.Accumulation(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "estimator":
+		r, err := experiments.Estimator(n, seed, experiments.DefaultTrialCounts())
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "alpha":
+		r, err := experiments.AlphaSweep(n, seed, steps, experiments.DefaultAlphas())
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "baseline":
+		r, err := experiments.BaselineContrast(min(n, 1000), seed, k, steps)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "ablations":
+		r, err := experiments.Ablations(n, seed)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "game":
+		r, err := experiments.Game(min(n, 2000), seed, 2)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "legacy":
+		r, err := experiments.Legacy(n, seed, min(n/20+10, 500))
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	case "xmlparity":
+		r, err := experiments.XMLParity(min(n, 2000), seed)
+		if err != nil {
+			return err
+		}
+		return r.Fprint(w)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunOneAllExperiments exercises every experiment through the CLI entry
+// point with small populations. Output goes to stdout; correctness of the
+// numbers is covered by internal/experiments tests — here we check the
+// wiring.
+func TestRunOneAllExperiments(t *testing.T) {
+	// Silence stdout during the test.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	names := []string{
+		"table1", "figure1", "figure2", "expansion", "accumulation",
+		"estimator", "alpha", "baseline", "ablations", "game", "legacy", "xmlparity",
+	}
+	for _, name := range names {
+		if err := runOne(name, 300, 7, 4, 3); err != nil {
+			t.Errorf("runOne(%s): %v", name, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", 10, 1, 1, 1); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestMinHelper(t *testing.T) {
+	if min(1, 2) != 1 || min(5, 3) != 3 {
+		t.Error("min wrong")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func corpusPath(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "examples", "corpus", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("corpus %s missing: %v", name, err)
+	}
+	return p
+}
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunAudit(t *testing.T) {
+	silenceStdout(t)
+	if err := runAudit(corpusPath(t, "clinic.dsl"), 0.4, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAudit(corpusPath(t, "clinic.dsl"), 0.4, 5, true); err != nil {
+		t.Fatalf("json mode: %v", err)
+	}
+}
+
+func TestRunAuditErrors(t *testing.T) {
+	silenceStdout(t)
+	if err := runAudit("does-not-exist.dsl", 0.1, 5, false); err == nil {
+		t.Error("missing file should fail")
+	}
+	// A document with a policy but no providers.
+	tmp := filepath.Join(t.TempDir(), "noproviders.dsl")
+	if err := os.WriteFile(tmp, []byte(`policy "p" { attr x { tuple purpose=q visibility=0 granularity=0 retention=0 } }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAudit(tmp, 0.1, 5, false); err == nil {
+		t.Error("providerless corpus should fail")
+	}
+	// A document with providers but no policy.
+	tmp2 := filepath.Join(t.TempDir(), "nopolicy.dsl")
+	if err := os.WriteFile(tmp2, []byte(`provider "a" threshold 5 { }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAudit(tmp2, 0.1, 5, false); err == nil {
+		t.Error("policyless corpus should fail")
+	}
+	// Unparseable document.
+	tmp3 := filepath.Join(t.TempDir(), "bad.dsl")
+	if err := os.WriteFile(tmp3, []byte("not a dsl"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAudit(tmp3, 0.1, 5, false); err == nil {
+		t.Error("bad corpus should fail")
+	}
+}

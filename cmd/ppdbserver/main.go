@@ -1,0 +1,104 @@
+// Command ppdbserver serves a PPDB over HTTP (see internal/httpapi for the
+// endpoint reference). It boots from a DSL corpus: the policy block becomes
+// the house policy, the provider blocks are registered, and one table is
+// created with the named columns (all FLOAT except the provider key).
+//
+// Usage:
+//
+//	ppdbserver -corpus corpus.dsl -table records -key provider -cols weight,condition -addr :8080
+//
+// Then:
+//
+//	curl -X POST localhost:8080/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
+//	curl localhost:8080/certify?alpha=0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/httpapi"
+	"repro/internal/policydsl"
+	"repro/internal/ppdb"
+	"repro/internal/relational"
+)
+
+func main() {
+	corpus := flag.String("corpus", "", "DSL corpus with the policy and initial providers")
+	load := flag.String("load", "", "boot from a directory written by ppdb.Save (overrides -corpus)")
+	table := flag.String("table", "records", "table name to create")
+	key := flag.String("key", "provider", "provider-identity column (TEXT PRIMARY KEY)")
+	cols := flag.String("cols", "", "comma-separated FLOAT data columns")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	var srv http.Handler
+	var err error
+	if *load != "" {
+		srv, err = buildFromState(*load)
+	} else {
+		srv, err = build(*corpus, *table, *key, *cols)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("ppdbserver listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// buildFromState boots the server from a ppdb.Save directory.
+func buildFromState(dir string) (http.Handler, error) {
+	db, err := ppdb.Load(dir, ppdb.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return httpapi.New(db)
+}
+
+// build assembles the PPDB and handler from the flags.
+func build(corpusPath, table, key, cols string) (http.Handler, error) {
+	if corpusPath == "" {
+		return nil, fmt.Errorf("-corpus is required")
+	}
+	src, err := os.ReadFile(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := policydsl.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if doc.Policy == nil {
+		return nil, fmt.Errorf("corpus has no policy block")
+	}
+	db, err := ppdb.New(ppdb.Config{Policy: doc.Policy, AttrSens: doc.AttrSens})
+	if err != nil {
+		return nil, err
+	}
+	columns := []relational.Column{{Name: key, Type: relational.TypeText, PrimaryKey: true}}
+	for _, c := range strings.Split(cols, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		columns = append(columns, relational.Column{Name: c, Type: relational.TypeFloat})
+	}
+	schema, err := relational.NewSchema(columns)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.RegisterTable(table, schema, key); err != nil {
+		return nil, err
+	}
+	for _, p := range doc.Providers {
+		if err := db.RegisterProvider(p); err != nil {
+			return nil, err
+		}
+	}
+	return httpapi.New(db)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunSim(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	cfg := experiments.ExpansionConfig{N: 300, Seed: 7, Steps: 4, BaseUtility: 10, StepUtility: 2}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdsExtraction(t *testing.T) {
+	cfg := experiments.ExpansionConfig{N: 200, Seed: 7, Steps: 2, BaseUtility: 10, StepUtility: 2}
+	acc, err := experiments.Accumulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := thresholds(acc)
+	if len(vals) != 200 {
+		t.Fatalf("thresholds = %d", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("quantile extraction must be sorted")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command whatif compares a current policy corpus against a proposed policy
+// — the Sec. 10 "what-if scenario": what would adopting the new policy do to
+// P(W), P(Default), and what extra per-provider utility T would the change
+// need to generate to pay for the lost providers (Eq. 31)?
+//
+// The current document supplies the provider population and the current
+// policy; the proposed document supplies only a policy (its provider blocks,
+// if any, are ignored).
+//
+// Usage:
+//
+//	whatif -current corpus.dsl -proposed next-policy.dsl -u 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/economics"
+	"repro/internal/policydsl"
+)
+
+func main() {
+	currentPath := flag.String("current", "", "DSL document with the current policy and providers")
+	proposedPath := flag.String("proposed", "", "DSL document with the proposed policy")
+	u := flag.Float64("u", 10, "current per-provider utility U")
+	flag.Parse()
+
+	if err := run(*currentPath, *proposedPath, *u); err != nil {
+		fmt.Fprintf(os.Stderr, "whatif: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(currentPath, proposedPath string, u float64) error {
+	if currentPath == "" || proposedPath == "" {
+		return fmt.Errorf("both -current and -proposed are required")
+	}
+	curSrc, err := os.ReadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	propSrc, err := os.ReadFile(proposedPath)
+	if err != nil {
+		return err
+	}
+	cur, err := policydsl.Parse(string(curSrc))
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	prop, err := policydsl.Parse(string(propSrc))
+	if err != nil {
+		return fmt.Errorf("proposed: %w", err)
+	}
+	if cur.Policy == nil || len(cur.Providers) == 0 {
+		return fmt.Errorf("current document needs a policy and providers")
+	}
+	if prop.Policy == nil {
+		return fmt.Errorf("proposed document needs a policy")
+	}
+
+	w, err := economics.Compare(cur.Policy, prop.Policy, cur.AttrSens, core.Options{}, cur.Providers, u)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("what-if: %q → %q over %d providers (U = %g)\n\n", cur.Policy.Name, prop.Policy.Name, w.Current.N, u)
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "current", "proposed", "delta")
+	fmt.Printf("%-22s %12.4f %12.4f %+12.4f\n", "P(W)", w.Current.PW, w.Proposed.PW, w.DeltaPW)
+	fmt.Printf("%-22s %12.4f %12.4f %+12.4f\n", "P(Default)", w.Current.PDefault, w.Proposed.PDefault, w.DeltaPDefault)
+	fmt.Printf("%-22s %12g %12g %+12g\n", "Violations (Eq. 16)",
+		w.Current.TotalViolations, w.Proposed.TotalViolations,
+		w.Proposed.TotalViolations-w.Current.TotalViolations)
+	fmt.Printf("%-22s %12d %12d %+12d\n", "defaults",
+		w.Current.DefaultCount, w.Proposed.DefaultCount,
+		w.Proposed.DefaultCount-w.Current.DefaultCount)
+	fmt.Printf("\nbreak-even extra utility per provider (Eq. 31): T > %g\n", w.BreakEvenT)
+	if w.DeltaPDefault <= 0 {
+		fmt.Println("verdict: the proposal loses no providers — any positive T pays.")
+	} else {
+		fmt.Printf("verdict: adopt only if the new policy yields more than %g extra utility per provider.\n", w.BreakEvenT)
+	}
+	return nil
+}

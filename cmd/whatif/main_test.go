@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunWhatIf(t *testing.T) {
+	silenceStdout(t)
+	cur := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	prop := filepath.Join("..", "..", "examples", "corpus", "clinic-v2.dsl")
+	if err := run(cur, prop, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWhatIfErrors(t *testing.T) {
+	silenceStdout(t)
+	cur := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	if err := run("", cur, 10); err == nil {
+		t.Error("missing -current should fail")
+	}
+	if err := run(cur, "", 10); err == nil {
+		t.Error("missing -proposed should fail")
+	}
+	if err := run("nope.dsl", cur, 10); err == nil {
+		t.Error("missing current file should fail")
+	}
+	if err := run(cur, "nope.dsl", 10); err == nil {
+		t.Error("missing proposed file should fail")
+	}
+	// Proposed without a policy block.
+	tmp := filepath.Join(t.TempDir(), "noprov.dsl")
+	if err := os.WriteFile(tmp, []byte(`provider "a" threshold 5 { }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cur, tmp, 10); err == nil {
+		t.Error("policyless proposal should fail")
+	}
+	if err := run(tmp, cur, 10); err == nil {
+		t.Error("current without policy+providers should fail")
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Quantifying Privacy
+// Violations" (Banerjee, Karimi Adl, Wu & Barker, Secure Data Management
+// workshop at VLDB 2011, LNCS 6933): the four-dimensional privacy taxonomy,
+// the violation / severity / default model (Defs. 1-5, Eqs. 12-16, 25-31),
+// an α-PPDB prototype over a from-scratch relational engine, and the full
+// experiment suite. See README.md for the tour and DESIGN.md for the
+// system inventory and experiment index.
+package repro

@@ -1,0 +1,14 @@
+# Proposed widening: research gets specific granularity and year retention,
+# and weight joins the research purpose.
+policy "clinic-v2" {
+  attr condition {
+    tuple purpose=care visibility=house granularity=specific retention=year
+    tuple purpose=research visibility=third-party granularity=specific retention=year
+  }
+  attr weight {
+    tuple purpose=care visibility=house granularity=specific retention=year
+    tuple purpose=research visibility=third-party granularity=partial retention=month
+  }
+  sensitivity condition 5
+  sensitivity weight 4
+}

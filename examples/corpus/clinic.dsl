@@ -1,0 +1,43 @@
+# A small clinic corpus for cmd/ppdbaudit and cmd/whatif.
+policy "clinic-v1" {
+  attr condition {
+    tuple purpose=care visibility=house granularity=specific retention=year
+    tuple purpose=research visibility=third-party granularity=partial retention=month
+  }
+  attr weight {
+    tuple purpose=care visibility=house granularity=specific retention=year
+  }
+  sensitivity condition 5
+  sensitivity weight 4
+}
+
+provider "maria" threshold 80 {
+  attr condition {
+    sens value=2 v=2 g=2 r=1
+    tuple purpose=care visibility=house granularity=specific retention=year
+    tuple purpose=research visibility=third-party granularity=partial retention=month
+  }
+  attr weight {
+    tuple purpose=care visibility=house granularity=specific retention=year
+  }
+}
+
+provider "omar" threshold 15 {
+  attr condition {
+    sens value=4 v=3 g=3 r=2
+    tuple purpose=care visibility=house granularity=specific retention=year
+  }
+  attr weight {
+    tuple purpose=care visibility=house granularity=specific retention=year
+  }
+}
+
+provider "ada" threshold 200 {
+  attr condition {
+    tuple purpose=care visibility=house granularity=specific retention=year
+    tuple purpose=research visibility=world granularity=specific retention=indefinite
+  }
+  attr weight {
+    tuple purpose=care visibility=world granularity=specific retention=indefinite
+  }
+}

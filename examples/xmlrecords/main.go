@@ -1,0 +1,94 @@
+// XML records example: the Sec. 10 future-work extension to hierarchical
+// data. Policies and preferences are attached to document paths with
+// subtree inheritance; the same violation/severity/default model runs per
+// data-bearing leaf.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/hierdata"
+	"repro/internal/privacy"
+)
+
+const record = `
+<patient>
+  <name>Maria Santos</name>
+  <contact>
+    <email>maria@example.com</email>
+    <phone>555-0101</phone>
+  </contact>
+  <vitals>
+    <weight>61.5</weight>
+    <condition>asthma</condition>
+  </vitals>
+  <billing>
+    <card>4111-xxxx</card>
+  </billing>
+</patient>`
+
+func main() {
+	doc, err := hierdata.ParseXML(strings.NewReader(record))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// House policy: care reads everything; research additionally reads the
+	// vitals subtree at third-party visibility; ads wants the contact
+	// subtree.
+	policy := hierdata.NewPathPolicy("clinic-xml-v2")
+	policy.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	policy.Add("/patient/vitals", privacy.Tuple{Purpose: "research", Visibility: 3, Granularity: 2, Retention: 3})
+	policy.Add("/patient/contact", privacy.Tuple{Purpose: "ads", Visibility: 3, Granularity: 3, Retention: 4})
+
+	// Maria consents to care everywhere and research on vitals at house
+	// visibility — but was never asked about ads.
+	maria := hierdata.NewPathPrefs("maria", 40)
+	maria.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	maria.Add("/patient/vitals", privacy.Tuple{Purpose: "research", Visibility: 2, Granularity: 2, Retention: 3})
+	maria.SetSensitivity("/patient", privacy.Sensitivity{Value: 1, Visibility: 2, Granularity: 1, Retention: 1})
+	maria.SetSensitivity("/patient/contact", privacy.Sensitivity{Value: 3, Visibility: 3, Granularity: 2, Retention: 2})
+
+	assessor := &hierdata.Assessor{
+		Policy: policy,
+		PathSens: map[string]float64{
+			"/patient/vitals":  4, // health data: most sensitive (Westin)
+			"/patient/contact": 3,
+			"/patient/billing": 5,
+		},
+	}
+	rep, err := assessor.AssessDocument(doc, maria)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("provider %s: violated=%v Violation=%g threshold=%g defaults=%v\n\n",
+		rep.Provider, rep.Violated, rep.Violation, maria.Threshold, rep.Defaults)
+	fmt.Println("leaf conflicts:")
+	for _, l := range rep.Leaves {
+		origin := "explicit preference"
+		if l.ImplicitZero {
+			origin = "IMPLICIT ZERO (never consented)"
+		}
+		fmt.Printf("  %-24s purpose=%-8s conf=%-6g %s\n", l.Path, l.Purpose, l.Conf, origin)
+	}
+
+	// What changes vs the relational model: move the research grant one
+	// level up (whole patient instead of vitals) and watch inheritance pull
+	// contact and billing leaves into the violation.
+	wide := hierdata.NewPathPolicy("clinic-xml-v3")
+	wide.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	wide.Add("/patient", privacy.Tuple{Purpose: "research", Visibility: 3, Granularity: 2, Retention: 3})
+	wide.Add("/patient/contact", privacy.Tuple{Purpose: "ads", Visibility: 3, Granularity: 3, Retention: 4})
+	assessor.Policy = wide
+	rep2, err := assessor.AssessDocument(doc, maria)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwidening research to the whole subtree: Violation %g → %g, defaults=%v\n",
+		rep.Violation, rep2.Violation, rep2.Defaults)
+	fmt.Printf("conflicted leaves %d → %d (inheritance reaches name, contact and billing)\n",
+		len(rep.Leaves), len(rep2.Leaves))
+}

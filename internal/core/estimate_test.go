@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+func TestEstimatePWConvergence(t *testing.T) {
+	a, provs := table1Fixture()
+	pop := []*privacy.Prefs{provs["alice"], provs["ted"], provs["bob"]}
+	rng := rand.New(rand.NewSource(1))
+
+	est, err := a.EstimatePW(pop, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-2.0/3.0) > 0.02 {
+		t.Errorf("estimated P(W) = %g, want ≈ 2/3", est.P)
+	}
+	if est.Trials != 60000 || est.Hits <= 0 {
+		t.Errorf("estimate bookkeeping wrong: %+v", est)
+	}
+
+	def, err := a.EstimatePDefault(pop, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(def.P-1.0/3.0) > 0.02 {
+		t.Errorf("estimated P(Default) = %g, want ≈ 1/3", def.P)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	a, provs := table1Fixture()
+	pop := []*privacy.Prefs{provs["alice"]}
+	rng := rand.New(rand.NewSource(1))
+
+	if _, err := a.EstimatePW(nil, 10, rng); err == nil {
+		t.Error("empty population should error")
+	}
+	if _, err := a.EstimatePW(pop, 0, rng); err == nil {
+		t.Error("zero trials should error")
+	}
+	if _, err := a.EstimatePW(pop, 10, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestEstimateDegenerate(t *testing.T) {
+	a, provs := table1Fixture()
+	rng := rand.New(rand.NewSource(7))
+
+	// All-violated population estimates exactly 1.
+	pop := []*privacy.Prefs{provs["ted"], provs["bob"]}
+	est, err := a.EstimatePW(pop, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P != 1 {
+		t.Errorf("all-violated estimate = %g, want 1", est.P)
+	}
+	// All-clean population estimates exactly 0.
+	pop = []*privacy.Prefs{provs["alice"]}
+	est, err = a.EstimatePW(pop, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P != 0 {
+		t.Errorf("clean estimate = %g, want 0", est.P)
+	}
+}

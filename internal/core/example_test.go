@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// ExampleConf reproduces Eq. 20 of the paper: Ted's conflict on Weight is
+// diff(g−1, g) × Σ^Weight × s × s[G] = 1 × 4 × 3 × 5 = 60.
+func ExampleConf() {
+	pref := privacy.Tuple{Purpose: "research", Visibility: 4, Granularity: 1, Retention: 4}
+	pol := privacy.Tuple{Purpose: "research", Visibility: 2, Granularity: 2, Retention: 2}
+	sens := privacy.Sensitivity{Value: 3, Visibility: 1, Granularity: 5, Retention: 2}
+	fmt.Println(core.Conf("weight", pref, "weight", pol, 4, sens, nil))
+	// Output: 60
+}
+
+// ExampleAssessor_AssessPopulation walks the paper's Sec. 8 example to the
+// population probabilities P(W) = 2/3 and P(Default) = 1/3.
+func ExampleAssessor_AssessPopulation() {
+	const pr = privacy.Purpose("research")
+	hp := privacy.NewHousePolicy("table1")
+	hp.Add("weight", privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 2, Retention: 2})
+	sigma := privacy.AttributeSensitivities{}
+	sigma.Set("weight", 4)
+
+	mk := func(name string, t privacy.Tuple, s privacy.Sensitivity, vi float64) *privacy.Prefs {
+		p := privacy.NewPrefs(name, vi)
+		p.Add("weight", t)
+		p.SetSensitivity("weight", s)
+		return p
+	}
+	alice := mk("alice", privacy.Tuple{Purpose: pr, Visibility: 4, Granularity: 3, Retention: 5},
+		privacy.Sensitivity{Value: 1, Visibility: 1, Granularity: 2, Retention: 1}, 10)
+	ted := mk("ted", privacy.Tuple{Purpose: pr, Visibility: 4, Granularity: 1, Retention: 4},
+		privacy.Sensitivity{Value: 3, Visibility: 1, Granularity: 5, Retention: 2}, 50)
+	bob := mk("bob", privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 1, Retention: 1},
+		privacy.Sensitivity{Value: 4, Visibility: 1, Granularity: 3, Retention: 2}, 100)
+
+	a, _ := core.NewAssessor(hp, sigma, core.Options{})
+	rep := a.AssessPopulation([]*privacy.Prefs{alice, ted, bob})
+	fmt.Printf("P(W)=%.4f P(Default)=%.4f Violations=%g\n", rep.PW, rep.PDefault, rep.TotalViolations)
+	// Output: P(W)=0.6667 P(Default)=0.3333 Violations=140
+}
+
+// ExampleIsAlphaPPDB shows the Def. 3 predicate.
+func ExampleIsAlphaPPDB() {
+	fmt.Println(core.IsAlphaPPDB(0.05, 0.1))
+	fmt.Println(core.IsAlphaPPDB(0.25, 0.1))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleDiff shows Eq. 12: only overshoot counts.
+func ExampleDiff() {
+	fmt.Println(core.Diff(1, 3)) // policy exceeds preference by 2
+	fmt.Println(core.Diff(3, 1)) // policy within preference: no violation
+	// Output:
+	// 2
+	// 0
+}

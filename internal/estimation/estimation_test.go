@@ -1,0 +1,216 @@
+package estimation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+func TestFitMonotone(t *testing.T) {
+	// Noisy but basically increasing observations.
+	obs := []Observation{
+		{Severity: 1, DefaultFrac: 0.05},
+		{Severity: 2, DefaultFrac: 0.10},
+		{Severity: 3, DefaultFrac: 0.08}, // violator
+		{Severity: 4, DefaultFrac: 0.20},
+		{Severity: 5, DefaultFrac: 0.40},
+	}
+	c, err := Fit(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ys := c.Knots()
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-1e-12 {
+			t.Fatalf("fitted curve not monotone: %v", ys)
+		}
+	}
+	// PAV pools the violator with its neighbour: (0.10 + 0.08)/2 = 0.09.
+	if math.Abs(ys[1]-0.09) > 1e-12 || math.Abs(ys[2]-0.09) > 1e-12 {
+		t.Errorf("PAV pooling wrong: %v", ys)
+	}
+}
+
+func TestCurveAt(t *testing.T) {
+	c, err := Fit([]Observation{
+		{Severity: 0, DefaultFrac: 0},
+		{Severity: 10, DefaultFrac: 0.5},
+		{Severity: 20, DefaultFrac: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		-5: 0, 0: 0, 5: 0.25, 10: 0.5, 15: 0.75, 20: 1, 100: 1,
+	}
+	for x, want := range cases {
+		if got := c.At(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("no observations should fail")
+	}
+	if _, err := Fit([]Observation{{1, 0.1}}); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := Fit([]Observation{{1, 0.1}, {1, 0.2}}); err == nil {
+		t.Error("single distinct severity should fail")
+	}
+	if _, err := Fit([]Observation{{1, -0.1}, {2, 0.2}}); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if _, err := Fit([]Observation{{1, 0.1}, {2, 1.2}}); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestFitAveragesDuplicates(t *testing.T) {
+	c, err := Fit([]Observation{
+		{Severity: 1, DefaultFrac: 0.1},
+		{Severity: 1, DefaultFrac: 0.3},
+		{Severity: 2, DefaultFrac: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("duplicate averaging: At(1) = %g, want 0.2", got)
+	}
+}
+
+// Property: the fitted curve is monotone for any input.
+func TestFitMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		obs := make([]Observation, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			obs = append(obs, Observation{
+				Severity:    float64(raw[i] % 100),
+				DefaultFrac: float64(raw[i+1]%1000) / 1000,
+			})
+		}
+		c, err := Fit(obs)
+		if err != nil {
+			return true // e.g. all severities equal
+		}
+		_, ys := c.Knots()
+		for i := 1; i < len(ys); i++ {
+			if ys[i] < ys[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLegacyProgrammeEndToEnd simulates the Sec. 10 route on a hidden
+// population: observe defaults under a few historical policies, fit, then
+// predict defaults for held-out policies and compare to ground truth.
+func TestLegacyProgrammeEndToEnd(t *testing.T) {
+	const pr = privacy.Purpose("service")
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{pr}},
+			{Name: "income", Sensitivity: 5, Purposes: []privacy.Purpose{pr}},
+		},
+	}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := population.PrefsOf(gen.Generate(4000)) // the house cannot see these
+	sigma := gen.AttributeSensitivities()
+
+	// Survey sample: a small random-ish subsample plays the "survey
+	// questions" role. (First 200 of a generated population is an unbiased
+	// sample because generation order is independent of content.)
+	sample := hidden[:200]
+
+	// Policy ladder p0 … p8 of increasing width.
+	policies := []*privacy.HousePolicy{}
+	hp := privacy.NewHousePolicy("p0")
+	hp.Add("weight", privacy.Tuple{Purpose: pr, Visibility: 0, Granularity: 0, Retention: 0})
+	hp.Add("income", privacy.Tuple{Purpose: pr, Visibility: 0, Granularity: 0, Retention: 0})
+	policies = append(policies, hp)
+	dims := privacy.OrderedDimensions
+	for i := 1; i <= 8; i++ {
+		hp = hp.WidenAll("p"+string(rune('0'+i)), dims[i%3], 1)
+		policies = append(policies, hp)
+	}
+
+	truth := func(p *privacy.HousePolicy) float64 {
+		a, err := core.NewAssessor(p, sigma, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.AssessPopulation(hidden).PDefault
+	}
+
+	// Observe the even-indexed policies (history), hold out the odd ones.
+	hist, err := NewHistory(sigma, core.Options{}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(policies); i += 2 {
+		if err := hist.Observe(policies[i], truth(policies[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hist.Len() != 5 {
+		t.Fatalf("history length = %d", hist.Len())
+	}
+
+	// Predictions on held-out policies should track the truth.
+	var worst float64
+	for i := 1; i < len(policies); i += 2 {
+		pred, err := hist.Predict(policies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := truth(policies[i])
+		diff := math.Abs(pred - actual)
+		if diff > worst {
+			worst = diff
+		}
+		if diff > 0.12 {
+			t.Errorf("policy %s: predicted %0.4f, actual %0.4f", policies[i].Name, pred, actual)
+		}
+	}
+	t.Logf("worst held-out prediction error: %.4f", worst)
+}
+
+func TestHistoryErrors(t *testing.T) {
+	if _, err := NewHistory(nil, core.Options{}, nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	sample := []*privacy.Prefs{privacy.NewPrefs("x", 1)}
+	h, err := NewHistory(nil, core.Options{}, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := privacy.NewHousePolicy("p")
+	if err := h.Observe(hp, 1.5); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	if err := h.Observe(nil, 0.5); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := h.Predict(hp); err == nil {
+		t.Error("prediction without enough history should fail")
+	}
+	if _, err := SeverityIndex(hp, nil, core.Options{}, nil); err == nil {
+		t.Error("empty sample severity index should fail")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// AblationRow compares one model variant against the base model on the same
+// population and policy.
+type AblationRow struct {
+	Variant         string
+	PW              float64
+	PDefault        float64
+	TotalViolations float64
+}
+
+// AblationResult is the design-choice study DESIGN.md calls out: the
+// implicit-zero rule, the multiplicative severity weights, and purpose
+// lattice matching each toggled independently.
+type AblationResult struct {
+	N    int
+	Rows []AblationRow
+}
+
+// Ablations runs the variants over a Westin population under a policy that
+// both widens levels and adds an unanticipated purpose (so every toggle has
+// something to act on).
+func Ablations(n int, seed uint64) (*AblationResult, error) {
+	providers, sigma, hp, err := expansionPopulation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+
+	// Policy under test: widened once on granularity, plus a new
+	// "service-analytics" purpose (a specialization of "service") on weight.
+	policy := hp.WidenAll("wide", privacy.DimGranularity, 1)
+	policy = policy.AddPurpose("wide+purpose", "weight",
+		privacy.Tuple{Purpose: "service-analytics", Visibility: 2, Granularity: 2, Retention: 2})
+
+	lattice := privacy.NewLattice()
+	if err := lattice.AddEdge("service", "service-analytics"); err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{N: n}
+	run := func(variant string, sig privacy.AttributeSensitivities, opts core.Options, unitSens bool) error {
+		p := pop
+		if unitSens {
+			// Strip provider sensitivities: clone with unit σ.
+			p = make([]*privacy.Prefs, len(pop))
+			for i, orig := range pop {
+				cp := orig.Clone("")
+				for _, attr := range cp.Attributes() {
+					cp.SetSensitivity(attr, privacy.UnitSensitivity)
+				}
+				p[i] = cp
+			}
+		}
+		a, err := core.NewAssessor(policy, sig, opts)
+		if err != nil {
+			return err
+		}
+		rep := a.AssessPopulation(p)
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:         variant,
+			PW:              rep.PW,
+			PDefault:        rep.PDefault,
+			TotalViolations: rep.TotalViolations,
+		})
+		return nil
+	}
+
+	if err := run("base model (paper)", sigma, core.Options{}, false); err != nil {
+		return nil, err
+	}
+	if err := run("no implicit-zero rule", sigma, core.Options{DisableImplicitZero: true}, false); err != nil {
+		return nil, err
+	}
+	if err := run("purpose lattice matching", sigma, core.Options{Matcher: lattice}, false); err != nil {
+		return nil, err
+	}
+	if err := run("unweighted severity (Σ=1, σ=1)", nil, core.Options{}, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fprint renders the ablation table.
+func (r *AblationResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "Ablations — model design choices (N=%d)\n\n", r.N)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Variant,
+			fmt.Sprintf("%.4f", row.PW),
+			fmt.Sprintf("%.4f", row.PDefault),
+			f(row.TotalViolations),
+		})
+	}
+	return WriteTable(w, []string{"variant", "P(W)", "P(Default)", "Violations"}, rows)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// AlphaPoint is one row of E7: for a policy of a given width, the exact
+// P(W) and the verdicts for a ladder of α thresholds.
+type AlphaPoint struct {
+	PolicyWidth int // number of one-level widenings applied
+	PW          float64
+	Verdicts    map[float64]bool // α → IsAlphaPPDB
+}
+
+// AlphaResult is the α-certification sweep.
+type AlphaResult struct {
+	N      int
+	Alphas []float64
+	Points []AlphaPoint
+}
+
+// AlphaSweep runs E7: as the policy widens, P(W) rises and the database
+// loses its α-PPDB status at successively looser α — the operational content
+// of Def. 3.
+func AlphaSweep(n int, seed uint64, widenings int, alphas []float64) (*AlphaResult, error) {
+	providers, sigma, hp, err := expansionPopulation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+	res := &AlphaResult{N: n, Alphas: alphas}
+	dims := []privacy.Dimension{privacy.DimVisibility, privacy.DimGranularity, privacy.DimRetention}
+	// Start from the zero policy (collect for the purposes, expose nothing):
+	// it violates nobody, so the sweep traces the full arc from a 0-PPDB to
+	// total violation as the policy widens.
+	policy := privacy.NewHousePolicy("zero")
+	for _, e := range hp.Entries() {
+		policy.Add(e.Attribute, privacy.ZeroTuple(e.Tuple.Purpose))
+	}
+	for wstep := 0; wstep <= widenings; wstep++ {
+		assessor, err := core.NewAssessor(policy, sigma, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pw := assessor.AssessPopulation(pop).PW
+		pt := AlphaPoint{PolicyWidth: wstep, PW: pw, Verdicts: map[float64]bool{}}
+		for _, a := range alphas {
+			pt.Verdicts[a] = core.IsAlphaPPDB(pw, a)
+		}
+		res.Points = append(res.Points, pt)
+		policy = policy.WidenAll(fmt.Sprintf("w%d", wstep+1), dims[wstep%len(dims)], 1)
+	}
+	return res, nil
+}
+
+// DefaultAlphas is the α ladder used by the bench and CLI.
+func DefaultAlphas() []float64 { return []float64{0.01, 0.05, 0.1, 0.25, 0.5} }
+
+// Fprint renders the sweep.
+func (r *AlphaResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E7 — α-PPDB certification sweep (Def. 3; N=%d)\n\n", r.N)
+	headers := []string{"widenings", "P(W)"}
+	for _, a := range r.Alphas {
+		headers = append(headers, fmt.Sprintf("α=%.2f", a))
+	}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%d", p.PolicyWidth), fmt.Sprintf("%.4f", p.PW)}
+		for _, a := range r.Alphas {
+			verdict := "FAIL"
+			if p.Verdicts[a] {
+				verdict = "ok"
+			}
+			row = append(row, verdict)
+		}
+		rows = append(rows, row)
+	}
+	return WriteTable(w, headers, rows)
+}

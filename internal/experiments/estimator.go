@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/privacy"
+	"repro/internal/stats"
+)
+
+// EstimatorPoint is one row of E6: the trial-based estimate of P(W) and
+// P(Default) at a given trial count τ, against the exact values.
+type EstimatorPoint struct {
+	Trials      int
+	PW          stats.Proportion
+	PDefault    stats.Proportion
+	ErrPW       float64 // |estimate − exact|
+	ErrPDefault float64
+}
+
+// EstimatorResult is the convergence series of the Defs. 2/5 relative-
+// frequency estimators.
+type EstimatorResult struct {
+	N             int
+	ExactPW       float64
+	ExactPDefault float64
+	Points        []EstimatorPoint
+}
+
+// Estimator runs the E6 convergence study: a Westin population under a
+// moderately widened policy, estimated at geometrically growing τ.
+func Estimator(n int, seed uint64, trialCounts []int) (*EstimatorResult, error) {
+	providers, sigma, hp, err := expansionPopulation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+	// Widen once along each dimension so both probabilities are interior.
+	wide := hp.WidenAll("v1", privacy.DimVisibility, 1).
+		WidenAll("v2", privacy.DimGranularity, 1)
+	assessor, err := core.NewAssessor(wide, sigma, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	exact := assessor.AssessPopulation(pop)
+	res := &EstimatorResult{N: n, ExactPW: exact.PW, ExactPDefault: exact.PDefault}
+	rng := population.NewRNG(seed + 1)
+	for _, tau := range trialCounts {
+		pw, err := assessor.EstimatePW(pop, tau, rng)
+		if err != nil {
+			return nil, err
+		}
+		pd, err := assessor.EstimatePDefault(pop, tau, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, EstimatorPoint{
+			Trials:      tau,
+			PW:          stats.NewProportion(pw.Hits, pw.Trials, 1.96),
+			PDefault:    stats.NewProportion(pd.Hits, pd.Trials, 1.96),
+			ErrPW:       math.Abs(pw.P - exact.PW),
+			ErrPDefault: math.Abs(pd.P - exact.PDefault),
+		})
+	}
+	return res, nil
+}
+
+// DefaultTrialCounts is the τ ladder used by the bench and CLI.
+func DefaultTrialCounts() []int { return []int{10, 100, 1000, 10000, 100000} }
+
+// Fprint renders the convergence table.
+func (r *EstimatorResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E6 — relative-frequency estimator convergence (Defs. 2 & 5; N=%d)\n", r.N)
+	fmt.Fprintf(w, "exact: P(W)=%.4f  P(Default)=%.4f\n\n", r.ExactPW, r.ExactPDefault)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Trials),
+			fmt.Sprintf("%.4f", p.PW.P), fmt.Sprintf("%.4f", p.ErrPW),
+			fmt.Sprintf("[%.3f,%.3f]", p.PW.Lo, p.PW.Hi),
+			fmt.Sprintf("%.4f", p.PDefault.P), fmt.Sprintf("%.4f", p.ErrPDefault),
+			fmt.Sprintf("[%.3f,%.3f]", p.PDefault.Lo, p.PDefault.Hi),
+		})
+	}
+	return WriteTable(w, []string{
+		"τ", "P̂(W)", "|err|", "95% CI", "P̂(Default)", "|err|", "95% CI",
+	}, rows)
+}

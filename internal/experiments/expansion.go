@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/economics"
+	"repro/internal/population"
+	"repro/internal/privacy"
+	"repro/internal/stats"
+)
+
+// ExpansionConfig parameterises the Sec. 9 trade-off experiment.
+type ExpansionConfig struct {
+	N           int     // population size
+	Seed        uint64  // generator seed
+	BaseUtility float64 // U per provider
+	StepUtility float64 // T gained per widening step
+	Steps       int     // number of widening steps
+}
+
+// DefaultExpansionConfig is the headline setting: 10k Westin providers,
+// U = 10, T = 2 per step, widening each ordered dimension in rotation.
+func DefaultExpansionConfig() ExpansionConfig {
+	return ExpansionConfig{N: 10000, Seed: 2011, BaseUtility: 10, StepUtility: 2, Steps: 8}
+}
+
+// ExpansionResult is the Sec. 9 series plus the optimum.
+type ExpansionResult struct {
+	Config  ExpansionConfig
+	Points  []economics.Point
+	Optimal int // index into Points with maximal future utility
+	// Segments records the population composition for context.
+	Segments map[string]int
+}
+
+// expansionPopulation builds the Westin population and base policy shared by
+// the expansion-style experiments.
+func expansionPopulation(n int, seed uint64) ([]population.Provider, privacy.AttributeSensitivities, *privacy.HousePolicy, error) {
+	const pr = privacy.Purpose("service")
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{pr}},
+			{Name: "income", Sensitivity: 5, Purposes: []privacy.Purpose{pr}},
+			{Name: "age", Sensitivity: 1, Purposes: []privacy.Purpose{pr}},
+		},
+	}, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	providers := gen.Generate(n)
+	hp := privacy.NewHousePolicy("v0")
+	for _, attr := range []string{"weight", "income", "age"} {
+		hp.Add(attr, privacy.Tuple{Purpose: pr, Visibility: 1, Granularity: 1, Retention: 1})
+	}
+	return providers, gen.AttributeSensitivities(), hp, nil
+}
+
+// Expansion runs the Sec. 9 experiment: a fixed Westin population, a narrow
+// base policy, and a sequence of one-level widenings (rotating through
+// visibility, granularity, retention). Each step adds StepUtility per
+// provider; defaulted providers leave. The result exhibits the paper's
+// qualitative claim: utility first rises with widening, then falls as
+// defaults accumulate — the house is "strictly limited in how much it can
+// expand its privacy policies and economically benefit".
+func Expansion(cfg ExpansionConfig) (*ExpansionResult, error) {
+	providers, sigma, hp, err := expansionPopulation(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+
+	dims := []privacy.Dimension{privacy.DimVisibility, privacy.DimGranularity, privacy.DimRetention}
+	steps := make([]economics.Step, cfg.Steps)
+	for i := range steps {
+		steps[i] = economics.WidenAllStep(dims[i%len(dims)], cfg.StepUtility)
+	}
+	sc := &economics.Scenario{BasePolicy: hp, AttrSens: sigma, BaseUtility: cfg.BaseUtility}
+	points, err := sc.Run(pop, steps)
+	if err != nil {
+		return nil, err
+	}
+	return &ExpansionResult{
+		Config:   cfg,
+		Points:   points,
+		Optimal:  economics.OptimalStep(points),
+		Segments: population.SegmentCounts(providers),
+	}, nil
+}
+
+// Fprint renders the expansion series.
+func (r *ExpansionResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "Sec. 9 / Eqs. 25-31 — policy expansion trade-off (N=%d, U=%g, T=%g/step)\n",
+		r.Config.N, r.Config.BaseUtility, r.Config.StepUtility)
+	fmt.Fprintf(w, "population: %v\n\n", r.Segments)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		mark := ""
+		if p.Step == r.Optimal {
+			mark = "<- optimal"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Step), p.Label,
+			f(p.PW), f(p.PDefault),
+			fmt.Sprintf("%d", p.NFuture),
+			f(p.UtilityFuture), f(p.BreakEvenT), b(p.Justified), mark,
+		})
+	}
+	return WriteTable(w, []string{
+		"step", "move", "P(W)", "P(Default)", "N_future",
+		"Utility_future", "break-even T", "justified", "",
+	}, rows)
+}
+
+// AccumulationResult is E5: the violation-accumulation view of the same
+// sweep — total Violations (Eq. 16), cumulative defaults, and the empirical
+// CDF of provider default thresholds that Sec. 10 proposes estimating.
+type AccumulationResult struct {
+	Config ExpansionConfig
+	Points []economics.Point
+	// CumulativeDefaults[i] is the total number of providers lost up to and
+	// including step i.
+	CumulativeDefaults []int
+	// ThresholdECDF is the distribution of v_i in the starting population.
+	ThresholdECDF *stats.ECDF
+	// ThresholdSummary summarizes v_i.
+	ThresholdSummary stats.Summary
+}
+
+// Accumulation runs the widening sweep and reports the accumulation series.
+func Accumulation(cfg ExpansionConfig) (*AccumulationResult, error) {
+	providers, sigma, hp, err := expansionPopulation(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+	thresholds := make([]float64, len(pop))
+	for i, p := range pop {
+		thresholds[i] = p.Threshold
+	}
+
+	dims := []privacy.Dimension{privacy.DimVisibility, privacy.DimGranularity, privacy.DimRetention}
+	steps := make([]economics.Step, cfg.Steps)
+	for i := range steps {
+		steps[i] = economics.WidenAllStep(dims[i%len(dims)], cfg.StepUtility)
+	}
+	sc := &economics.Scenario{BasePolicy: hp, AttrSens: sigma, BaseUtility: cfg.BaseUtility}
+	points, err := sc.Run(pop, steps)
+	if err != nil {
+		return nil, err
+	}
+	res := &AccumulationResult{
+		Config:           cfg,
+		Points:           points,
+		ThresholdECDF:    stats.NewECDF(thresholds),
+		ThresholdSummary: stats.Summarize(thresholds),
+	}
+	lost := 0
+	for _, p := range points {
+		lost = cfg.N - p.NFuture
+		res.CumulativeDefaults = append(res.CumulativeDefaults, lost)
+	}
+	return res, nil
+}
+
+// Fprint renders the accumulation series.
+func (r *AccumulationResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E5 — violation accumulation and default CDF (N=%d)\n", r.Config.N)
+	fmt.Fprintf(w, "threshold v_i: median=%.1f mean=%.1f q1=%.1f q3=%.1f\n\n",
+		r.ThresholdSummary.Median, r.ThresholdSummary.Mean, r.ThresholdSummary.Q1, r.ThresholdSummary.Q3)
+	rows := make([][]string, 0, len(r.Points))
+	for i, p := range r.Points {
+		var meanViolation float64
+		if p.NCurrent > 0 {
+			meanViolation = p.TotalViolations / float64(maxInt(1, r.Config.N-r.CumulativeDefaults[maxInt(0, i-1)]))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Step),
+			f(p.TotalViolations),
+			f(meanViolation),
+			fmt.Sprintf("%d", r.CumulativeDefaults[i]),
+			f(float64(r.CumulativeDefaults[i]) / float64(r.Config.N)),
+		})
+	}
+	return WriteTable(w, []string{
+		"step", "Violations (Eq. 16)", "mean Violation_i", "cum defaults", "default frac",
+	}, rows)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

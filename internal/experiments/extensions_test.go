@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGameExperiment(t *testing.T) {
+	r, err := Game(800, 2011, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.WithoutIncent) != 5 {
+		t.Fatalf("strategies without incentives = %d", len(r.WithoutIncent))
+	}
+	if len(r.WithIncent) != 25 {
+		t.Fatalf("strategies with incentives = %d", len(r.WithIncent))
+	}
+	// Exactly one equilibrium per solve.
+	countBest := func(rows []GameRow) int {
+		n := 0
+		for _, row := range rows {
+			if row.Best {
+				n++
+			}
+		}
+		return n
+	}
+	if countBest(r.WithoutIncent) != 1 || countBest(r.WithIncent) != 1 {
+		t.Error("each solve must mark exactly one equilibrium")
+	}
+	// Incentives weakly improve the house optimum (κ > 0 only adds
+	// strategies).
+	if r.PayoffGain < 0 {
+		t.Errorf("payoff gain = %g, want ≥ 0", r.PayoffGain)
+	}
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "equilibrium") {
+		t.Error("game output missing equilibrium marker")
+	}
+}
+
+func TestLegacyExperiment(t *testing.T) {
+	r, err := Legacy(2000, 41, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	history, heldOut := 0, 0
+	for _, row := range r.Rows {
+		if row.Observed {
+			history++
+		} else {
+			heldOut++
+		}
+		if row.Predicted < 0 || row.Predicted > 1 {
+			t.Errorf("prediction out of range: %+v", row)
+		}
+	}
+	if history != 5 || heldOut != 4 {
+		t.Errorf("history/held-out = %d/%d", history, heldOut)
+	}
+	if r.WorstHeldOutError > 0.15 {
+		t.Errorf("worst held-out error = %g, want < 0.15", r.WorstHeldOutError)
+	}
+	// Severity indexes must be non-decreasing along the widening ladder.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Severity < r.Rows[i-1].Severity-1e-9 {
+			t.Errorf("severity index decreased at %s", r.Rows[i].Policy)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "held-out") {
+		t.Error("legacy output incomplete")
+	}
+}
+
+func TestLegacyErrors(t *testing.T) {
+	if _, err := Legacy(100, 1, 0); err == nil {
+		t.Error("zero sample should fail")
+	}
+	if _, err := Legacy(100, 1, 101); err == nil {
+		t.Error("oversized sample should fail")
+	}
+}
+
+// TestXMLParity pins the Sec. 10 XML extension to the relational model on
+// flat documents.
+func TestXMLParity(t *testing.T) {
+	r, err := XMLParity(500, 2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllAgree {
+		for _, row := range r.Rows {
+			if !row.Agree {
+				t.Errorf("disagreement for %s: flat %g vs hier %g",
+					row.Provider, row.FlatViolation, row.HierViolation)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "parity: true") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	cfg := DefaultExpansionConfig()
+	if cfg.N != 10000 || cfg.Steps != 8 || cfg.BaseUtility != 10 {
+		t.Errorf("DefaultExpansionConfig = %+v", cfg)
+	}
+	taus := DefaultTrialCounts()
+	if len(taus) != 5 || taus[0] != 10 || taus[4] != 100000 {
+		t.Errorf("DefaultTrialCounts = %v", taus)
+	}
+	alphas := DefaultAlphas()
+	if len(alphas) != 5 || alphas[0] != 0.01 {
+		t.Errorf("DefaultAlphas = %v", alphas)
+	}
+}
+
+func TestXMLParityFprintDisagreement(t *testing.T) {
+	r := &XMLParityResult{N: 2, AllAgree: false, Rows: []XMLParityRow{
+		{Provider: "ok", FlatViolation: 1, HierViolation: 1, Agree: true},
+		{Provider: "bad", FlatViolation: 1, HierViolation: 2, Agree: false},
+	}}
+	var buf bytes.Buffer
+	if err := r.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "disagreements: 1") || !strings.Contains(out, "bad") {
+		t.Errorf("output = %s", out)
+	}
+	if strings.Contains(out, "\nok ") {
+		t.Error("agreeing providers should not be listed")
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/game"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// GameRow is one leader strategy with its outcome (E9).
+type GameRow struct {
+	Policy       string
+	ExtraUtility float64
+	Incentive    float64
+	Participants int
+	HousePayoff  float64
+	Best         bool
+}
+
+// GameResult is the Stackelberg study: the equilibrium without incentives,
+// and how it shifts when incentives become available (κ > 0).
+type GameResult struct {
+	N             int
+	Kappa         float64
+	WithoutIncent []GameRow
+	WithIncent    []GameRow
+	// PayoffGain is (best with incentives) − (best without).
+	PayoffGain float64
+}
+
+// Game runs E9: a policy ladder with increasing T played against a Westin
+// population, solved once with κ = 0 (the paper's base assumptions) and once
+// with κ > 0 and an incentive grid (the relaxation Sec. 9 anticipates).
+func Game(n int, seed uint64, kappa float64) (*GameResult, error) {
+	providers, sigma, hp, err := expansionPopulation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pop := population.PrefsOf(providers)
+
+	// Ladder of five progressively wider policies with growing T.
+	type rung struct {
+		policy *privacy.HousePolicy
+		t      float64
+	}
+	rungs := []rung{{hp, 0}}
+	policy := hp
+	dims := privacy.OrderedDimensions
+	for i := 1; i <= 4; i++ {
+		policy = policy.WidenAll(fmt.Sprintf("w%d", i), dims[i%3], 1)
+		rungs = append(rungs, rung{policy, float64(i) * 2})
+	}
+
+	res := &GameResult{N: n, Kappa: kappa}
+
+	solve := func(k float64, incentives []float64) ([]GameRow, float64, error) {
+		g, err := game.New(game.Config{
+			AttrSens: sigma, BaseUtility: 10, ToleranceGain: k,
+		}, pop)
+		if err != nil {
+			return nil, 0, err
+		}
+		var strategies []game.HouseStrategy
+		for _, r := range rungs {
+			base := game.HouseStrategy{Policy: r.policy, ExtraUtility: r.t}
+			if len(incentives) > 0 {
+				strategies = append(strategies, game.IncentiveGrid(base, incentives)...)
+			} else {
+				strategies = append(strategies, base)
+			}
+		}
+		eq, err := g.Solve(strategies)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows := make([]GameRow, 0, len(eq.Outcomes))
+		for _, o := range eq.Outcomes {
+			rows = append(rows, GameRow{
+				Policy:       o.Strategy.Policy.Name,
+				ExtraUtility: o.Strategy.ExtraUtility,
+				Incentive:    o.Strategy.Incentive,
+				Participants: o.Participants,
+				HousePayoff:  o.HousePayoff,
+				Best:         o == eq.Best,
+			})
+		}
+		return rows, eq.Best.HousePayoff, nil
+	}
+
+	var bestWithout, bestWith float64
+	if res.WithoutIncent, bestWithout, err = solve(0, nil); err != nil {
+		return nil, err
+	}
+	if res.WithIncent, bestWith, err = solve(kappa, []float64{0, 0.5, 1, 2, 4}); err != nil {
+		return nil, err
+	}
+	res.PayoffGain = bestWith - bestWithout
+	return res, nil
+}
+
+// Fprint renders both equilibria.
+func (r *GameResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E9 — Stackelberg policy game (Sec. 9 extension; N=%d, κ=%g)\n\n", r.N, r.Kappa)
+	render := func(title string, rows []GameRow) error {
+		fmt.Fprintln(w, title)
+		table := make([][]string, 0, len(rows))
+		for _, row := range rows {
+			mark := ""
+			if row.Best {
+				mark = "<- equilibrium"
+			}
+			table = append(table, []string{
+				row.Policy, f(row.ExtraUtility), f(row.Incentive),
+				fmt.Sprintf("%d", row.Participants), f(row.HousePayoff), mark,
+			})
+		}
+		return WriteTable(w, []string{"policy", "T", "incentive", "participants", "house payoff", ""}, table)
+	}
+	if err := render("without incentives (κ = 0, the paper's base assumptions):", r.WithoutIncent); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := render("with incentives:", r.WithIncent); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nhouse payoff gain from offering incentives: %+g\n", r.PayoffGain)
+	return nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimation"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// LegacyRow is one policy version with its predicted and actual default
+// fractions (E10).
+type LegacyRow struct {
+	Policy    string
+	Severity  float64 // severity index on the survey sample
+	Observed  bool    // part of the fitted history vs held out
+	Predicted float64
+	Actual    float64
+	AbsError  float64
+}
+
+// LegacyResult is the Sec. 10 estimation study.
+type LegacyResult struct {
+	N          int
+	SampleSize int
+	Rows       []LegacyRow
+	// WorstHeldOutError is the max |predicted − actual| over held-out
+	// policies.
+	WorstHeldOutError float64
+}
+
+// Legacy runs E10: a hidden Westin population, a ladder of nine policies;
+// the even-indexed versions are "history" (their true default fractions are
+// observed), the odd ones are held out. A monotone curve is fitted on the
+// history's severity indexes (computed on a small survey sample) and used to
+// predict the held-out default fractions.
+func Legacy(n int, seed uint64, sampleSize int) (*LegacyResult, error) {
+	providers, sigma, base, err := expansionPopulation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	hidden := population.PrefsOf(providers)
+	if sampleSize <= 0 || sampleSize > len(hidden) {
+		return nil, fmt.Errorf("experiments: sample size %d out of range", sampleSize)
+	}
+	sample := hidden[:sampleSize]
+
+	// Policy ladder starting from the zero policy so severities span the
+	// full range.
+	zero := privacy.NewHousePolicy("p0")
+	for _, e := range base.Entries() {
+		zero.Add(e.Attribute, privacy.ZeroTuple(e.Tuple.Purpose))
+	}
+	policies := []*privacy.HousePolicy{zero}
+	hp := zero
+	dims := privacy.OrderedDimensions
+	for i := 1; i <= 8; i++ {
+		hp = hp.WidenAll(fmt.Sprintf("p%d", i), dims[i%3], 1)
+		policies = append(policies, hp)
+	}
+
+	truth := func(p *privacy.HousePolicy) (float64, error) {
+		a, err := core.NewAssessor(p, sigma, core.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return a.AssessPopulation(hidden).PDefault, nil
+	}
+
+	hist, err := estimation.NewHistory(sigma, core.Options{}, sample)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(policies); i += 2 {
+		actual, err := truth(policies[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := hist.Observe(policies[i], actual); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &LegacyResult{N: n, SampleSize: sampleSize}
+	for i, p := range policies {
+		actual, err := truth(p)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := hist.Predict(p)
+		if err != nil {
+			return nil, err
+		}
+		sev, err := estimation.SeverityIndex(p, sigma, core.Options{}, sample)
+		if err != nil {
+			return nil, err
+		}
+		row := LegacyRow{
+			Policy:    p.Name,
+			Severity:  sev,
+			Observed:  i%2 == 0,
+			Predicted: pred,
+			Actual:    actual,
+			AbsError:  math.Abs(pred - actual),
+		}
+		if !row.Observed && row.AbsError > res.WorstHeldOutError {
+			res.WorstHeldOutError = row.AbsError
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fprint renders the prediction table.
+func (r *LegacyResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E10 — legacy-system default estimation (Sec. 10; N=%d hidden, survey sample=%d)\n\n",
+		r.N, r.SampleSize)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		role := "held-out"
+		if row.Observed {
+			role = "history"
+		}
+		rows = append(rows, []string{
+			row.Policy, f(row.Severity), role,
+			fmt.Sprintf("%.4f", row.Predicted),
+			fmt.Sprintf("%.4f", row.Actual),
+			fmt.Sprintf("%.4f", row.AbsError),
+		})
+	}
+	if err := WriteTable(w, []string{
+		"policy", "severity idx", "role", "predicted P(Default)", "actual", "|err|",
+	}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nworst held-out prediction error: %.4f\n", r.WorstHeldOutError)
+	return nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// Table1Row is one line of the paper's Table 1 with the derived quantities
+// of Eqs. 19-24.
+type Table1Row struct {
+	Provider  string
+	Pref      privacy.Tuple
+	Sens      privacy.Sensitivity
+	Threshold float64 // v_i
+	Wi        bool    // w_i (Table 1 rightmost column)
+	Conf      float64 // Eqs. 20
+	Defaults  bool    // Eqs. 21-23
+}
+
+// Table1Result is the full reproduction of the Sec. 8 worked example.
+type Table1Result struct {
+	Policy          privacy.Tuple // house tuple on Weight
+	SigmaWeight     float64       // Σ^Weight = 4
+	Rows            []Table1Row
+	TotalViolations float64 // Σ_i Violation_i
+	PW              float64
+	PDefault        float64 // Eq. 24: 1/3
+}
+
+// table1Setup builds the Sec. 8 fixture. The paper leaves ⟨pr, v, g, r⟩
+// abstract; we instantiate v=2, g=2, r=2 on the default scales so that
+// every offset in Table 1 (v+2, g−1, r+3, …) is on-scale.
+func table1Setup() (*core.Assessor, []*privacy.Prefs, privacy.Tuple) {
+	const pr = privacy.Purpose("research")
+	base := privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 2, Retention: 2}
+
+	hp := privacy.NewHousePolicy("table1")
+	hp.Add("Weight", base)
+	hp.Add("Age", privacy.Tuple{Purpose: pr, Visibility: 1, Granularity: 1, Retention: 1})
+
+	sigma := privacy.AttributeSensitivities{}
+	sigma.Set("Weight", 4)
+	sigma.Set("Age", 1)
+
+	// Everyone's Age preferences bound the Age policy (the paper assumes
+	// Age violates nobody).
+	maxAge := privacy.Tuple{Purpose: pr, Visibility: 4, Granularity: 3, Retention: 5}
+
+	mk := func(name string, t privacy.Tuple, s privacy.Sensitivity, thresh float64) *privacy.Prefs {
+		p := privacy.NewPrefs(name, thresh)
+		p.Add("Weight", t)
+		p.SetSensitivity("Weight", s)
+		p.Add("Age", maxAge)
+		return p
+	}
+	v, g, r := base.Visibility, base.Granularity, base.Retention
+	alice := mk("Alice",
+		privacy.Tuple{Purpose: pr, Visibility: v + 2, Granularity: g + 1, Retention: r + 3},
+		privacy.Sensitivity{Value: 1, Visibility: 1, Granularity: 2, Retention: 1}, 10)
+	ted := mk("Ted",
+		privacy.Tuple{Purpose: pr, Visibility: v + 2, Granularity: g - 1, Retention: r + 2},
+		privacy.Sensitivity{Value: 3, Visibility: 1, Granularity: 5, Retention: 2}, 50)
+	bob := mk("Bob",
+		privacy.Tuple{Purpose: pr, Visibility: v, Granularity: g - 1, Retention: r - 1},
+		privacy.Sensitivity{Value: 4, Visibility: 1, Granularity: 3, Retention: 2}, 100)
+
+	a, err := core.NewAssessor(hp, sigma, core.Options{})
+	if err != nil {
+		panic(err) // fixture is static; cannot fail
+	}
+	return a, []*privacy.Prefs{alice, ted, bob}, base
+}
+
+// Table1 reproduces the paper's Table 1 and Eqs. 19-24 exactly:
+// conf(Alice)=0, conf(Ted)=60, conf(Bob)=80, defaults 0/1/0,
+// P(Default)=1/3.
+func Table1() Table1Result {
+	assessor, pop, base := table1Setup()
+	res := Table1Result{Policy: base, SigmaWeight: 4}
+	rep := assessor.AssessPopulation(pop)
+	for i, p := range pop {
+		pr := rep.Providers[i]
+		pref, _ := p.Find("Weight", "research")
+		res.Rows = append(res.Rows, Table1Row{
+			Provider:  p.Provider,
+			Pref:      pref,
+			Sens:      p.Sensitivity("Weight", "research"),
+			Threshold: p.Threshold,
+			Wi:        pr.Violated,
+			Conf:      pr.Violation,
+			Defaults:  pr.Defaults,
+		})
+	}
+	res.TotalViolations = rep.TotalViolations
+	res.PW = rep.PW
+	res.PDefault = rep.PDefault
+	return res
+}
+
+// PaperTable1 holds the published values for verification: conf per
+// provider, default flags, and P(Default) = 1/3.
+var PaperTable1 = map[string]struct {
+	Conf     float64
+	Wi       bool
+	Defaults bool
+}{
+	"Alice": {0, false, false},
+	"Ted":   {60, true, true},
+	"Bob":   {80, true, false},
+}
+
+// Fprint renders the reproduction next to the published values.
+func (r Table1Result) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "Table 1 / Eqs. 19-24 — worked example (Σ^Weight = %g, policy %s)\n\n",
+		r.SigmaWeight, r.Policy)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		paper := PaperTable1[row.Provider]
+		rows = append(rows, []string{
+			row.Provider,
+			row.Pref.String(),
+			row.Sens.String(),
+			f(row.Threshold),
+			b(row.Wi),
+			f(row.Conf), f(paper.Conf),
+			b(row.Defaults), b(paper.Defaults),
+		})
+	}
+	if err := WriteTable(w, []string{
+		"provider", "pref tuple", "σ_i", "v_i", "w_i",
+		"Violation_i", "paper", "default_i", "paper",
+	}, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nViolations (Eq. 16) = %g\nP(W) = %.4f\nP(Default) = %.4f (paper: 1/3 = 0.3333)\n",
+		r.TotalViolations, r.PW, r.PDefault)
+	return nil
+}
+
+// Matches reports whether the reproduction agrees with the published values.
+func (r Table1Result) Matches() bool {
+	for _, row := range r.Rows {
+		paper, ok := PaperTable1[row.Provider]
+		if !ok || row.Conf != paper.Conf || row.Wi != paper.Wi || row.Defaults != paper.Defaults {
+			return false
+		}
+	}
+	return r.TotalViolations == 140 && r.PDefault > 0.333 && r.PDefault < 0.334
+}

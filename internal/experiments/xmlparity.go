@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hierdata"
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// XMLParityRow compares one provider's assessment in the flat relational
+// model and in the hierarchical extension with single-level paths.
+type XMLParityRow struct {
+	Provider      string
+	FlatViolation float64
+	HierViolation float64
+	Agree         bool
+}
+
+// XMLParityResult is E11: when documents are flat (every attribute a direct
+// child of the root) the hierarchical extension must reduce exactly to the
+// relational model — severity, violation flag and default flag all agree.
+// This is the correctness anchor for the Sec. 10 XML extension.
+type XMLParityResult struct {
+	N        int
+	Rows     []XMLParityRow
+	AllAgree bool
+}
+
+// XMLParity generates a Westin population, assesses each provider flat
+// (core.Assessor) and hierarchically (one ⟨/root/attr⟩ path per attribute),
+// and reports agreement.
+func XMLParity(n int, seed uint64) (*XMLParityResult, error) {
+	const pr = privacy.Purpose("service")
+	attrs := []string{"weight", "income"}
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: attrs[0], Sensitivity: 4, Purposes: []privacy.Purpose{pr}},
+			{Name: attrs[1], Sensitivity: 5, Purposes: []privacy.Purpose{pr}},
+		},
+	}, seed)
+	if err != nil {
+		return nil, err
+	}
+	providers := gen.Generate(n)
+	sigma := gen.AttributeSensitivities()
+
+	// Flat policy and its path mirror.
+	flat := privacy.NewHousePolicy("flat")
+	pathPol := hierdata.NewPathPolicy("paths")
+	pathSens := map[string]float64{}
+	for _, a := range attrs {
+		t := privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 2, Retention: 2}
+		flat.Add(a, t)
+		pathPol.Add("/rec/"+a, t)
+		pathSens["/rec/"+a] = sigma.Get(a)
+	}
+	flatAssessor, err := core.NewAssessor(flat, sigma, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hierAssessor := &hierdata.Assessor{Policy: pathPol, PathSens: pathSens}
+
+	// One flat document shared by everyone (values are irrelevant to the
+	// model; only presence matters).
+	doc, err := hierdata.ParseXML(strings.NewReader(
+		"<rec><weight>70</weight><income>50000</income></rec>"))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &XMLParityResult{N: n, AllAgree: true}
+	for _, p := range providers {
+		flatRep := flatAssessor.AssessProvider(p.Prefs)
+
+		// Mirror the provider's preferences onto paths.
+		pp := hierdata.NewPathPrefs(p.Prefs.Provider, p.Prefs.Threshold)
+		for _, a := range attrs {
+			for _, e := range p.Prefs.ForAttribute(a) {
+				pp.Add("/rec/"+a, e.Tuple)
+			}
+			pp.SetSensitivity("/rec/"+a, p.Prefs.Sensitivity(a, pr))
+		}
+		hierRep, err := hierAssessor.AssessDocument(doc, pp)
+		if err != nil {
+			return nil, err
+		}
+		row := XMLParityRow{
+			Provider:      p.Prefs.Provider,
+			FlatViolation: flatRep.Violation,
+			HierViolation: hierRep.Violation,
+			Agree: math.Abs(flatRep.Violation-hierRep.Violation) < 1e-9 &&
+				flatRep.Violated == hierRep.Violated &&
+				flatRep.Defaults == hierRep.Defaults,
+		}
+		if !row.Agree {
+			res.AllAgree = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fprint summarizes the parity check (per-provider rows only on
+// disagreement).
+func (r *XMLParityResult) Fprint(w io.Writer) error {
+	fmt.Fprintf(w, "E11 — flat/hierarchical parity (N=%d): the XML extension with\n", r.N)
+	fmt.Fprintln(w, "single-level paths must reduce to the relational model exactly.")
+	disagreements := 0
+	for _, row := range r.Rows {
+		if !row.Agree {
+			disagreements++
+		}
+	}
+	fmt.Fprintf(w, "\nproviders compared: %d, disagreements: %d → parity: %v\n",
+		len(r.Rows), disagreements, r.AllAgree)
+	if disagreements > 0 {
+		rows := [][]string{}
+		for _, row := range r.Rows {
+			if !row.Agree {
+				rows = append(rows, []string{row.Provider, f(row.FlatViolation), f(row.HierViolation)})
+			}
+		}
+		return WriteTable(w, []string{"provider", "flat Violation_i", "hier Violation_i"}, rows)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/population"
+	"repro/internal/privacy"
+)
+
+// fixture: three providers with violations 0 / 60 / 80 under the wide
+// policy (the Table 1 trio) and none under the narrow policy.
+func fixture(t *testing.T) (*Game, *privacy.HousePolicy, *privacy.HousePolicy) {
+	t.Helper()
+	const pr = privacy.Purpose("research")
+	narrow := privacy.NewHousePolicy("narrow")
+	narrow.Add("weight", privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 1, Retention: 1})
+	wide := privacy.NewHousePolicy("wide")
+	wide.Add("weight", privacy.Tuple{Purpose: pr, Visibility: 2, Granularity: 2, Retention: 2})
+
+	sigma := privacy.AttributeSensitivities{}
+	sigma.Set("weight", 4)
+
+	mk := func(name string, g, r privacy.Level, thresh float64, s privacy.Sensitivity) *privacy.Prefs {
+		p := privacy.NewPrefs(name, thresh)
+		p.Add("weight", privacy.Tuple{Purpose: pr, Visibility: 4, Granularity: g, Retention: r})
+		p.SetSensitivity("weight", s)
+		return p
+	}
+	alice := mk("alice", 3, 5, 10, privacy.Sensitivity{Value: 1, Visibility: 1, Granularity: 2, Retention: 1})
+	ted := mk("ted", 1, 4, 50, privacy.Sensitivity{Value: 3, Visibility: 1, Granularity: 5, Retention: 2})
+	bob := mk("bob", 1, 1, 100, privacy.Sensitivity{Value: 4, Visibility: 1, Granularity: 3, Retention: 2})
+
+	g, err := New(Config{AttrSens: sigma, BaseUtility: 10, ToleranceGain: 1},
+		[]*privacy.Prefs{alice, ted, bob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, narrow, wide
+}
+
+func TestPlayNarrowPolicy(t *testing.T) {
+	g, narrow, _ := fixture(t)
+	out, err := g.Play(HouseStrategy{Policy: narrow, ExtraUtility: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Participants != 3 || out.Defectors != 0 {
+		t.Errorf("narrow outcome = %+v", out)
+	}
+	if out.HousePayoff != 30 {
+		t.Errorf("payoff = %g", out.HousePayoff)
+	}
+}
+
+func TestPlayWidePolicyNoIncentive(t *testing.T) {
+	g, _, wide := fixture(t)
+	out, err := g.Play(HouseStrategy{Policy: wide, ExtraUtility: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violations 0/60/80 vs thresholds 10/50/100: ted defects.
+	if out.Participants != 2 || out.Defectors != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.HousePayoff != 2*(10+5) {
+		t.Errorf("payoff = %g", out.HousePayoff)
+	}
+	for _, r := range out.Responses {
+		if r.Provider == "ted" && r.Participates {
+			t.Error("ted should defect")
+		}
+	}
+}
+
+func TestIncentiveBuysParticipation(t *testing.T) {
+	g, _, wide := fixture(t)
+	// Ted's gap is 60 − 50 = 10; incentive 10 (κ=1) keeps him.
+	out, err := g.Play(HouseStrategy{Policy: wide, ExtraUtility: 5, Incentive: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Participants != 3 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Payoff: 3 × (10 + 5 − 10) = 15 < 30 without ted — paying everyone to
+	// keep one provider can be a bad deal; Solve should see that.
+	if out.HousePayoff != 15 {
+		t.Errorf("payoff = %g", out.HousePayoff)
+	}
+}
+
+func TestSolveStackelberg(t *testing.T) {
+	g, narrow, wide := fixture(t)
+	strategies := []HouseStrategy{
+		{Policy: narrow, ExtraUtility: 0},
+		{Policy: wide, ExtraUtility: 5},
+		{Policy: wide, ExtraUtility: 5, Incentive: 10},
+	}
+	eq, err := g.Solve(strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eq.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(eq.Outcomes))
+	}
+	// Payoffs: 30, 30, 15 — tie prefers the earlier (narrow) strategy.
+	if eq.Best.Strategy.Policy.Name != "narrow" {
+		t.Errorf("equilibrium = %s (payoff %g)", eq.Best.Strategy, eq.Best.HousePayoff)
+	}
+	// With a higher T the wide policy wins despite losing ted.
+	strategies[1].ExtraUtility = 8
+	eq, err = g.Solve(strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Best.Strategy.Policy.Name != "wide" || eq.Best.Strategy.Incentive != 0 {
+		t.Errorf("equilibrium = %s", eq.Best.Strategy)
+	}
+}
+
+func TestOptimalIncentive(t *testing.T) {
+	g, _, wide := fixture(t)
+	// With T = 20 the house earns a lot per provider; buying ted back for 10
+	// pays: 3 × (10+20−10) = 60 > 2 × 30 = 60? Equal — prefer cheaper. Try
+	// T = 25: 3 × (35−10) = 75 > 2 × 35 = 70.
+	out, err := g.OptimalIncentive(HouseStrategy{Policy: wide, ExtraUtility: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Participants != 3 {
+		t.Fatalf("optimal incentive should retain everyone: %+v", out.Strategy)
+	}
+	if math.Abs(out.Strategy.Incentive-10) > 1e-6 {
+		t.Errorf("incentive = %g, want ≈ 10 (ted's exact gap)", out.Strategy.Incentive)
+	}
+	// With tiny T, paying is not worth it.
+	out, err = g.OptimalIncentive(HouseStrategy{Policy: wide, ExtraUtility: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy.Incentive != 0 || out.Participants != 2 {
+		t.Errorf("low-T optimum = %+v", out.Strategy)
+	}
+}
+
+func TestOptimalIncentiveZeroKappa(t *testing.T) {
+	gBase, _, wide := fixture(t)
+	g, err := New(Config{AttrSens: privacy.AttributeSensitivities{"weight": 4},
+		BaseUtility: 10, ToleranceGain: 0}, gBase.pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.OptimalIncentive(HouseStrategy{Policy: wide, ExtraUtility: 25, Incentive: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy.Incentive != 0 {
+		t.Errorf("κ=0 must force zero incentive, got %g", out.Strategy.Incentive)
+	}
+}
+
+func TestNewAndPlayErrors(t *testing.T) {
+	g, narrow, _ := fixture(t)
+	if _, err := New(Config{BaseUtility: -1}, g.pop); err == nil {
+		t.Error("negative U should fail")
+	}
+	if _, err := New(Config{ToleranceGain: -1}, g.pop); err == nil {
+		t.Error("negative κ should fail")
+	}
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("empty population should fail")
+	}
+	if _, err := g.Play(HouseStrategy{}); err == nil {
+		t.Error("strategy without policy should fail")
+	}
+	if _, err := g.Play(HouseStrategy{Policy: narrow, Incentive: -1}); err == nil {
+		t.Error("negative incentive should fail")
+	}
+	if _, err := g.Solve(nil); err == nil {
+		t.Error("empty strategy set should fail")
+	}
+}
+
+func TestIncentiveGrid(t *testing.T) {
+	_, narrow, _ := fixture(t)
+	grid := IncentiveGrid(HouseStrategy{Policy: narrow, ExtraUtility: 3}, []float64{0, 1, 2})
+	if len(grid) != 3 || grid[2].Incentive != 2 || grid[1].ExtraUtility != 3 {
+		t.Errorf("grid = %+v", grid)
+	}
+}
+
+// TestEquilibriumOnWestinPopulation checks the qualitative Sec. 9 story at
+// population scale: with incentives available (κ > 0) the house's optimal
+// payoff weakly improves over the no-incentive game.
+func TestEquilibriumOnWestinPopulation(t *testing.T) {
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population.PrefsOf(gen.Generate(500))
+	base := privacy.NewHousePolicy("p0")
+	base.Add("weight", privacy.Tuple{Purpose: "service", Visibility: 1, Granularity: 1, Retention: 1})
+
+	strategies := []HouseStrategy{{Policy: base, ExtraUtility: 0}}
+	policy := base
+	for i := 1; i <= 4; i++ {
+		policy = policy.WidenAll("p"+string(rune('0'+i)), privacy.OrderedDimensions[i%3], 1)
+		strategies = append(strategies, HouseStrategy{Policy: policy, ExtraUtility: float64(i) * 2})
+	}
+
+	solve := func(kappa float64) float64 {
+		t.Helper()
+		g, err := New(Config{AttrSens: gen.AttributeSensitivities(), BaseUtility: 10, ToleranceGain: kappa}, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []HouseStrategy
+		for _, s := range strategies {
+			if kappa > 0 {
+				all = append(all, IncentiveGrid(s, []float64{0, 1, 2, 5, 10})...)
+			} else {
+				all = append(all, s)
+			}
+		}
+		eq, err := g.Solve(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eq.Best.HousePayoff
+	}
+	without := solve(0)
+	with := solve(5)
+	if with < without {
+		t.Errorf("incentives must weakly improve the house optimum: %g < %g", with, without)
+	}
+}

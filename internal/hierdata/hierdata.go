@@ -1,0 +1,334 @@
+// Package hierdata extends the violation model to hierarchical (XML-style)
+// data — the last future-work item of Sec. 10: "this work has only
+// considered a traditional relational database model. Extending it to other
+// popular structures such as XML … may involve changing the violation model
+// itself."
+//
+// What changes: attributes become *paths* ("/patient/contact/email"), and
+// both policies and preferences are scoped to subtrees — a tuple attached to
+// a path governs every descendant unless a more specific tuple overrides it
+// (longest-prefix resolution). Violation, severity and default then reuse
+// the relational model verbatim per leaf: the same diff/comp/conf machinery
+// of Eqs. 12-14 runs with the resolved (policy, preference) pair at each
+// data-bearing node.
+package hierdata
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// Node is one element of a hierarchical document. A node carries data when
+// Value is non-empty; structural nodes just hold children.
+type Node struct {
+	Name     string
+	Value    string
+	Children []*Node
+}
+
+// ParseXML decodes an XML document into a Node tree. Only elements and
+// character data are kept (attributes, comments and processing instructions
+// are ignored — the model concerns element content).
+func ParseXML(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hierdata: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: strings.ToLower(t.Name.Local)}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			} else if root == nil {
+				root = n
+			} else {
+				return nil, fmt.Errorf("hierdata: multiple root elements")
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("hierdata: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(t))
+				if text != "" {
+					stack[len(stack)-1].Value += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("hierdata: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("hierdata: unclosed element %s", stack[len(stack)-1].Name)
+	}
+	return root, nil
+}
+
+// Path renders a canonical slash path from path segments.
+func Path(segments ...string) string {
+	cleaned := make([]string, 0, len(segments))
+	for _, s := range segments {
+		s = strings.ToLower(strings.TrimSpace(strings.Trim(s, "/")))
+		if s != "" {
+			cleaned = append(cleaned, s)
+		}
+	}
+	return "/" + strings.Join(cleaned, "/")
+}
+
+// normPath canonicalizes a user-supplied path.
+func normPath(p string) string {
+	return Path(strings.Split(p, "/")...)
+}
+
+// isPrefix reports whether prefix covers path in subtree semantics.
+func isPrefix(prefix, path string) bool {
+	if prefix == "/" {
+		return true
+	}
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// scoped is one path-scoped privacy tuple.
+type scoped struct {
+	path  string
+	tuple privacy.Tuple
+}
+
+// PathPolicy is a house policy over a document tree: tuples attached to
+// paths, inherited by subtrees, overridden by longer paths.
+type PathPolicy struct {
+	Name    string
+	entries []scoped
+}
+
+// NewPathPolicy returns an empty path policy.
+func NewPathPolicy(name string) *PathPolicy {
+	return &PathPolicy{Name: name}
+}
+
+// Add attaches a tuple to a path (subtree scope).
+func (p *PathPolicy) Add(path string, t privacy.Tuple) *PathPolicy {
+	p.entries = append(p.entries, scoped{path: normPath(path), tuple: t.Normalize()})
+	return p
+}
+
+// Len returns the number of attached tuples.
+func (p *PathPolicy) Len() int { return len(p.entries) }
+
+// Resolve returns the governing tuple for (path, purpose): the matching
+// entry with the longest covering path. Ties (same path, same purpose
+// attached twice) resolve to the later entry.
+func (p *PathPolicy) Resolve(path string, pr privacy.Purpose) (privacy.Tuple, bool) {
+	path = normPath(path)
+	pr = pr.Normalize()
+	bestLen := -1
+	var best privacy.Tuple
+	for _, e := range p.entries {
+		if e.tuple.Purpose != pr || !isPrefix(e.path, path) {
+			continue
+		}
+		if len(e.path) >= bestLen {
+			bestLen = len(e.path)
+			best = e.tuple
+		}
+	}
+	return best, bestLen >= 0
+}
+
+// Purposes returns the sorted purposes that govern the given path (its own
+// and inherited).
+func (p *PathPolicy) Purposes(path string) []privacy.Purpose {
+	path = normPath(path)
+	seen := map[privacy.Purpose]bool{}
+	for _, e := range p.entries {
+		if isPrefix(e.path, path) {
+			seen[e.tuple.Purpose] = true
+		}
+	}
+	out := make([]privacy.Purpose, 0, len(seen))
+	for pr := range seen {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathPrefs is one provider's preferences over a document tree, with the
+// same subtree inheritance. Sensitivities are path-scoped too.
+type PathPrefs struct {
+	Provider  string
+	Threshold float64
+	entries   []scoped
+	sens      []struct {
+		path string
+		s    privacy.Sensitivity
+	}
+}
+
+// NewPathPrefs returns an empty path preference set.
+func NewPathPrefs(provider string, threshold float64) *PathPrefs {
+	return &PathPrefs{Provider: provider, Threshold: threshold}
+}
+
+// Add attaches a preference tuple to a path (subtree scope).
+func (p *PathPrefs) Add(path string, t privacy.Tuple) *PathPrefs {
+	p.entries = append(p.entries, scoped{path: normPath(path), tuple: t.Normalize()})
+	return p
+}
+
+// SetSensitivity attaches a sensitivity element to a subtree.
+func (p *PathPrefs) SetSensitivity(path string, s privacy.Sensitivity) *PathPrefs {
+	p.sens = append(p.sens, struct {
+		path string
+		s    privacy.Sensitivity
+	}{normPath(path), s})
+	return p
+}
+
+// Resolve returns the provider's effective preference for (path, purpose):
+// longest covering path, or (implicit zero, false) when nothing covers it.
+func (p *PathPrefs) Resolve(path string, pr privacy.Purpose) (privacy.Tuple, bool) {
+	path = normPath(path)
+	pr = pr.Normalize()
+	bestLen := -1
+	var best privacy.Tuple
+	for _, e := range p.entries {
+		if e.tuple.Purpose != pr || !isPrefix(e.path, path) {
+			continue
+		}
+		if len(e.path) >= bestLen {
+			bestLen = len(e.path)
+			best = e.tuple
+		}
+	}
+	if bestLen < 0 {
+		return privacy.ZeroTuple(pr), false
+	}
+	return best, true
+}
+
+// Sensitivity resolves the effective σ for a path (longest covering scope;
+// unit when none).
+func (p *PathPrefs) Sensitivity(path string) privacy.Sensitivity {
+	path = normPath(path)
+	bestLen := -1
+	best := privacy.UnitSensitivity
+	for _, e := range p.sens {
+		if !isPrefix(e.path, path) {
+			continue
+		}
+		if len(e.path) >= bestLen {
+			bestLen = len(e.path)
+			best = e.s
+		}
+	}
+	return best
+}
+
+// LeafConflict is the assessment of one data-bearing node.
+type LeafConflict struct {
+	Path         string
+	Purpose      privacy.Purpose
+	Pref, Policy privacy.Tuple
+	ImplicitZero bool
+	Conf         float64
+}
+
+// Report is the per-provider assessment over a document.
+type Report struct {
+	Provider  string
+	Violated  bool
+	Violation float64
+	Defaults  bool
+	Leaves    []LeafConflict
+}
+
+// Assessor evaluates path policies against path preferences over documents.
+type Assessor struct {
+	Policy *PathPolicy
+	// PathSens is the house-side Σ per path scope (longest prefix wins;
+	// 1 when none matches).
+	PathSens map[string]float64
+}
+
+// sigma resolves Σ for a path.
+func (a *Assessor) sigma(path string) float64 {
+	bestLen := -1
+	best := 1.0
+	for p, v := range a.PathSens {
+		np := normPath(p)
+		if !isPrefix(np, path) {
+			continue
+		}
+		if len(np) >= bestLen {
+			bestLen = len(np)
+			best = v
+		}
+	}
+	return best
+}
+
+// AssessDocument walks every data-bearing node of doc: for each purpose the
+// policy applies to that node, the effective (preference, policy) pair is
+// resolved and scored with the relational model's Conf (Eq. 14). Violation,
+// severity and default aggregate exactly as in the flat model.
+func (a *Assessor) AssessDocument(doc *Node, prefs *PathPrefs) (Report, error) {
+	if a.Policy == nil {
+		return Report{}, fmt.Errorf("hierdata: assessor has no policy")
+	}
+	if doc == nil || prefs == nil {
+		return Report{}, fmt.Errorf("hierdata: nil document or preferences")
+	}
+	rep := Report{Provider: prefs.Provider}
+	var walk func(n *Node, path string)
+	walk = func(n *Node, path string) {
+		if n.Value != "" {
+			for _, pr := range a.Policy.Purposes(path) {
+				pol, ok := a.Policy.Resolve(path, pr)
+				if !ok {
+					continue
+				}
+				pref, explicit := prefs.Resolve(path, pr)
+				sens := prefs.Sensitivity(path)
+				conf := core.Conf(path, pref, path, pol, a.sigma(path), sens, nil)
+				if conf > 0 || pref.ExceededBy(pol) {
+					rep.Violated = true
+					rep.Violation += conf
+					rep.Leaves = append(rep.Leaves, LeafConflict{
+						Path:         path,
+						Purpose:      pr,
+						Pref:         pref,
+						Policy:       pol,
+						ImplicitZero: !explicit,
+						Conf:         conf,
+					})
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, path+"/"+c.Name)
+		}
+	}
+	walk(doc, "/"+doc.Name)
+	rep.Defaults = rep.Violation > prefs.Threshold
+	return rep, nil
+}

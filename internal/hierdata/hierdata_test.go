@@ -1,0 +1,241 @@
+package hierdata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+const patientXML = `
+<patient>
+  <name>Maria</name>
+  <contact>
+    <email>maria@example.com</email>
+    <phone>555-0101</phone>
+  </contact>
+  <vitals>
+    <weight>61.5</weight>
+    <condition>asthma</condition>
+  </vitals>
+</patient>`
+
+func TestParseXML(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(patientXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "patient" || len(doc.Children) != 3 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	contact := doc.Children[1]
+	if contact.Name != "contact" || len(contact.Children) != 2 {
+		t.Fatalf("contact = %+v", contact)
+	}
+	if contact.Children[0].Value != "maria@example.com" {
+		t.Errorf("email = %q", contact.Children[0].Value)
+	}
+	// Structural nodes carry no value.
+	if doc.Value != "" || contact.Value != "" {
+		t.Error("structural nodes must not carry data")
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"<unclosed>",
+		"plaintext",
+	}
+	for _, src := range bad {
+		if _, err := ParseXML(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseXML(%q) should fail", src)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	if got := Path("Patient", "Contact", "Email"); got != "/patient/contact/email" {
+		t.Errorf("Path = %q", got)
+	}
+	if got := normPath("patient//contact/"); got != "/patient/contact" {
+		t.Errorf("normPath = %q", got)
+	}
+	if !isPrefix("/a", "/a/b") || !isPrefix("/a", "/a") || !isPrefix("/", "/a/b") {
+		t.Error("isPrefix false negatives")
+	}
+	if isPrefix("/a/b", "/a") || isPrefix("/a", "/ab") {
+		t.Error("isPrefix false positives")
+	}
+}
+
+func TestPolicyResolveLongestPrefix(t *testing.T) {
+	pol := NewPathPolicy("v1")
+	pol.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	pol.Add("/patient/contact", privacy.Tuple{Purpose: "care", Visibility: 1, Granularity: 3, Retention: 2})
+
+	// Subtree inheritance.
+	tp, ok := pol.Resolve("/patient/vitals/weight", "care")
+	if !ok || tp.Visibility != 2 {
+		t.Errorf("inherited tuple = %v, %v", tp, ok)
+	}
+	// Override wins on the contact subtree.
+	tp, ok = pol.Resolve("/patient/contact/email", "care")
+	if !ok || tp.Visibility != 1 || tp.Retention != 2 {
+		t.Errorf("override tuple = %v, %v", tp, ok)
+	}
+	// Unknown purpose.
+	if _, ok := pol.Resolve("/patient/contact/email", "ads"); ok {
+		t.Error("unknown purpose should not resolve")
+	}
+	// Purposes listing.
+	prs := pol.Purposes("/patient/contact/email")
+	if len(prs) != 1 || prs[0] != "care" {
+		t.Errorf("purposes = %v", prs)
+	}
+}
+
+func TestPrefsResolveAndSensitivity(t *testing.T) {
+	prefs := NewPathPrefs("maria", 50)
+	prefs.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	prefs.Add("/patient/contact", privacy.Tuple{Purpose: "care", Visibility: 0, Granularity: 1, Retention: 1})
+	prefs.SetSensitivity("/patient", privacy.Sensitivity{Value: 1, Visibility: 1, Granularity: 1, Retention: 1})
+	prefs.SetSensitivity("/patient/contact", privacy.Sensitivity{Value: 5, Visibility: 5, Granularity: 5, Retention: 5})
+
+	tp, explicit := prefs.Resolve("/patient/vitals/weight", "care")
+	if !explicit || tp.Visibility != 2 {
+		t.Errorf("inherited pref = %v, %v", tp, explicit)
+	}
+	tp, explicit = prefs.Resolve("/patient/contact/phone", "care")
+	if !explicit || tp.Visibility != 0 {
+		t.Errorf("override pref = %v, %v", tp, explicit)
+	}
+	// No coverage → implicit zero.
+	tp, explicit = prefs.Resolve("/patient/vitals/weight", "ads")
+	if explicit || tp != privacy.ZeroTuple("ads") {
+		t.Errorf("implicit zero = %v, %v", tp, explicit)
+	}
+	if s := prefs.Sensitivity("/patient/contact/email"); s.Value != 5 {
+		t.Errorf("contact sensitivity = %v", s)
+	}
+	if s := prefs.Sensitivity("/patient/vitals/weight"); s.Value != 1 {
+		t.Errorf("vitals sensitivity = %v", s)
+	}
+	if s := prefs.Sensitivity("/other"); s != privacy.UnitSensitivity {
+		t.Errorf("uncovered sensitivity = %v", s)
+	}
+}
+
+func TestAssessDocument(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(patientXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policy: care over the whole record; research additionally reads
+	// vitals with third-party visibility.
+	pol := NewPathPolicy("v1")
+	pol.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	pol.Add("/patient/vitals", privacy.Tuple{Purpose: "research", Visibility: 3, Granularity: 2, Retention: 3})
+
+	// Maria accepts care everywhere but research only at visibility 2 on
+	// vitals; contact data is extra sensitive.
+	prefs := NewPathPrefs("maria", 30)
+	prefs.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	prefs.Add("/patient/vitals", privacy.Tuple{Purpose: "research", Visibility: 2, Granularity: 2, Retention: 3})
+	prefs.SetSensitivity("/patient", privacy.Sensitivity{Value: 1, Visibility: 2, Granularity: 1, Retention: 1})
+
+	a := &Assessor{Policy: pol, PathSens: map[string]float64{"/patient/vitals": 4}}
+	rep, err := a.AssessDocument(doc, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Violated {
+		t.Fatal("research visibility overshoot must violate")
+	}
+	// Two vitals leaves (weight, condition), each: diff v = 1 × Σ 4 × s 1 ×
+	// s[V] 2 = 8 → total 16.
+	if rep.Violation != 16 {
+		t.Errorf("Violation = %g, want 16", rep.Violation)
+	}
+	if rep.Defaults {
+		t.Error("16 ≤ 30: maria stays")
+	}
+	if len(rep.Leaves) != 2 {
+		t.Fatalf("leaves = %+v", rep.Leaves)
+	}
+	for _, l := range rep.Leaves {
+		if l.Purpose != "research" || l.ImplicitZero {
+			t.Errorf("leaf = %+v", l)
+		}
+		if !strings.HasPrefix(l.Path, "/patient/vitals/") {
+			t.Errorf("leaf path = %q", l.Path)
+		}
+	}
+}
+
+func TestAssessDocumentImplicitZero(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(patientXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewPathPolicy("v1")
+	pol.Add("/patient/contact", privacy.Tuple{Purpose: "ads", Visibility: 3, Granularity: 3, Retention: 4})
+
+	// Provider consented to nothing: both contact leaves trip implicit zero.
+	prefs := NewPathPrefs("omar", 5)
+	a := &Assessor{Policy: pol}
+	rep, err := a.AssessDocument(doc, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Violated || !rep.Defaults {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if len(rep.Leaves) != 2 {
+		t.Fatalf("leaves = %+v", rep.Leaves)
+	}
+	for _, l := range rep.Leaves {
+		if !l.ImplicitZero {
+			t.Errorf("leaf should be implicit zero: %+v", l)
+		}
+		// Overshoot (3+3+4) = 10 with unit weights and Σ = 1.
+		if l.Conf != 10 {
+			t.Errorf("leaf conf = %g, want 10", l.Conf)
+		}
+	}
+}
+
+func TestAssessDocumentClean(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(patientXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewPathPolicy("v1")
+	pol.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 1, Granularity: 1, Retention: 1})
+	prefs := NewPathPrefs("ada", 10)
+	prefs.Add("/patient", privacy.Tuple{Purpose: "care", Visibility: 4, Granularity: 3, Retention: 5})
+	a := &Assessor{Policy: pol}
+	rep, err := a.AssessDocument(doc, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violated || rep.Violation != 0 || rep.Defaults || len(rep.Leaves) != 0 {
+		t.Errorf("clean report = %+v", rep)
+	}
+}
+
+func TestAssessorErrors(t *testing.T) {
+	a := &Assessor{}
+	if _, err := a.AssessDocument(&Node{Name: "x"}, NewPathPrefs("p", 1)); err == nil {
+		t.Error("nil policy should fail")
+	}
+	a.Policy = NewPathPolicy("v")
+	if _, err := a.AssessDocument(nil, NewPathPrefs("p", 1)); err == nil {
+		t.Error("nil document should fail")
+	}
+	if _, err := a.AssessDocument(&Node{Name: "x"}, nil); err == nil {
+		t.Error("nil prefs should fail")
+	}
+}

@@ -1,0 +1,312 @@
+// Package httpapi exposes a PPDB over HTTP with JSON bodies — the service
+// face of the α-PPDB prototype. Endpoints:
+//
+//	POST /query      {requester, purpose, visibility, sql} → {columns, rows}
+//	GET  /certify?alpha=0.1                                → certification
+//	GET  /policy                                           → current policy
+//	PUT  /policy     DSL document with one policy block    → policy change
+//	POST /providers  DSL document with provider blocks     → count registered
+//	GET  /audit                                            → access records
+//	POST /sweep                                            → retention sweep
+//	POST /load?table=T   CSV body with a header row        → rows loaded
+//	GET  /self/audit?provider=N                            → personal violation report
+//	GET  /self/data?provider=N                             → the provider's own rows
+//
+// Every response is JSON; policy and preference uploads use the policydsl
+// text format (Content-Type is not enforced). Denied queries return 403
+// with the denial reason, parse errors 400.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/policydsl"
+	"repro/internal/ppdb"
+	"repro/internal/privacy"
+)
+
+// Server wraps a PPDB with an http.Handler.
+type Server struct {
+	db  *ppdb.DB
+	mux *http.ServeMux
+}
+
+// New builds the handler around an existing PPDB.
+func New(db *ppdb.DB) (*Server, error) {
+	if db == nil {
+		return nil, fmt.Errorf("httpapi: nil database")
+	}
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/certify", s.handleCertify)
+	s.mux.HandleFunc("/policy", s.handlePolicy)
+	s.mux.HandleFunc("/providers", s.handleProviders)
+	s.mux.HandleFunc("/audit", s.handleAudit)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/load", s.handleLoad)
+	s.mux.HandleFunc("/self/audit", s.handleSelfAudit)
+	s.mux.HandleFunc("/self/data", s.handleSelfData)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func methodCheck(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
+		return false
+	}
+	return true
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Requester  string `json:"requester"`
+	Purpose    string `json:"purpose"`
+	Visibility int    `json:"visibility"`
+	SQL        string `json:"sql"`
+}
+
+// QueryResponse is the POST /query result.
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	res, err := s.db.Query(ppdb.AccessRequest{
+		Requester:  req.Requester,
+		Purpose:    privacy.Purpose(req.Purpose),
+		Visibility: privacy.Level(req.Visibility),
+		SQL:        req.SQL,
+	})
+	if err != nil {
+		var denied *ppdb.DeniedError
+		if errors.As(err, &denied) {
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := QueryResponse{Columns: res.Columns, Rows: make([][]string, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.Display()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	alpha := 0.1
+	if q := r.URL.Query().Get("alpha"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad alpha %q", q))
+			return
+		}
+		alpha = v
+	}
+	cert, err := s.db.Certify(alpha)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cert)
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		doc := &policydsl.Document{Policy: s.db.Policy(), Scales: privacy.DefaultScales()}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, policydsl.Render(doc))
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		doc, err := policydsl.Parse(string(body))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if doc.Policy == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no policy block"))
+			return
+		}
+		change, err := s.db.SetPolicy(doc.Policy)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, change)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+	}
+}
+
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		names := make([]string, 0)
+		for _, p := range s.db.Providers() {
+			names = append(names, p.Provider)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(names), "providers": names})
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		doc, err := policydsl.Parse(string(body))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(doc.Providers) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no provider blocks"))
+			return
+		}
+		for _, p := range doc.Providers {
+			if err := s.db.RegisterProvider(p); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"registered": len(doc.Providers)})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.db.Audit().Records())
+}
+
+// handleSelfAudit serves GET /self/audit?provider=name: the provider's
+// personal violation report (w_i, Violation_i, default_i, conflict pairs).
+func (s *Server) handleSelfAudit(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	provider := r.URL.Query().Get("provider")
+	if provider == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?provider="))
+		return
+	}
+	rep, err := s.db.SelfAudit(provider)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleSelfData serves GET /self/data?provider=name: every row the
+// provider contributed, at full granularity (right of access).
+func (s *Server) handleSelfData(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	provider := r.URL.Query().Get("provider")
+	if provider == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?provider="))
+		return
+	}
+	rows, err := s.db.ProviderView(provider)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	type rowJSON struct {
+		Table  string            `json:"table"`
+		RowID  int64             `json:"rowId"`
+		Values map[string]string `json:"values"`
+	}
+	out := make([]rowJSON, 0, len(rows))
+	for _, row := range rows {
+		vals := make(map[string]string, len(row.Columns))
+		for i, c := range row.Columns {
+			vals[c] = row.Values[i].Display()
+		}
+		out = append(out, rowJSON{Table: row.Table, RowID: int64(row.RowID), Values: vals})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLoad bulk-loads CSV microdata: POST /load?table=records with the
+// CSV as the body. Providers named in the provider column must already be
+// registered.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?table="))
+		return
+	}
+	n, err := s.db.ImportCSV(table, http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"loaded": n})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	rep, err := s.db.Sweep()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -1,0 +1,270 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ppdb"
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	hp := privacy.NewHousePolicy("v1")
+	hp.Add("provider", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	hp.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	db, err := ppdb.New(ppdb.Config{Policy: hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := relational.NewSchema([]relational.Column{
+		{Name: "provider", Type: relational.TypeText, PrimaryKey: true},
+		{Name: "weight", Type: relational.TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable("t", schema, "provider"); err != nil {
+		t.Fatal(err)
+	}
+	p := privacy.NewPrefs("maria", 50)
+	p.Add("provider", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	p.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	if err := db.RegisterProvider(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("t", "maria", relational.Row{relational.Text("maria"), relational.Float(61.5)}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func do(t *testing.T, srv *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewNilDB(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil db should fail")
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodPost, "/query",
+		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT provider, weight FROM t"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "maria" || out.Rows[0][1] != "61.5" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestQueryDenied(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodPost, "/query",
+		`{"requester":"ads","purpose":"marketing","visibility":2,"sql":"SELECT weight FROM t"}`)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "no policy tuple") {
+		t.Errorf("body = %s", rec.Body)
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	srv := testServer(t)
+	if rec := do(t, srv, http.MethodPost, "/query", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPost, "/query",
+		`{"purpose":"care","visibility":2,"sql":"DELETE FROM t"}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("non-SELECT status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodGet, "/query", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", rec.Code)
+	}
+}
+
+func TestCertifyEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/certify?alpha=0.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var cert struct {
+		Alpha       float64 `json:"Alpha"`
+		IsAlphaPPDB bool    `json:"IsAlphaPPDB"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &cert); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Alpha != 0.5 || !cert.IsAlphaPPDB {
+		t.Errorf("cert = %+v (body %s)", cert, rec.Body)
+	}
+	if rec := do(t, srv, http.MethodGet, "/certify?alpha=bogus", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad alpha status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodGet, "/certify?alpha=2", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range alpha status = %d", rec.Code)
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/policy", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `policy "v1"`) {
+		t.Fatalf("GET /policy = %d %s", rec.Code, rec.Body)
+	}
+	// PUT a widened policy (DSL).
+	newPolicy := `policy "v2" {
+	  attr provider { tuple purpose=care visibility=house granularity=specific retention=year }
+	  attr weight { tuple purpose=care visibility=third-party granularity=specific retention=year }
+	}`
+	rec = do(t, srv, http.MethodPut, "/policy", newPolicy)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("PUT /policy = %d %s", rec.Code, rec.Body)
+	}
+	var change ppdb.PolicyChange
+	if err := json.Unmarshal(rec.Body.Bytes(), &change); err != nil {
+		t.Fatal(err)
+	}
+	if change.From != "v1" || change.To != "v2" || change.DeltaPW <= 0 {
+		t.Errorf("change = %+v", change)
+	}
+	// Errors.
+	if rec := do(t, srv, http.MethodPut, "/policy", "junk"); rec.Code != http.StatusBadRequest {
+		t.Errorf("junk policy status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPut, "/policy", `provider "x" threshold 5 { }`); rec.Code != http.StatusBadRequest {
+		t.Errorf("policyless PUT status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodDelete, "/policy", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /policy status = %d", rec.Code)
+	}
+}
+
+func TestProvidersEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/providers", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "maria") {
+		t.Fatalf("GET /providers = %d %s", rec.Code, rec.Body)
+	}
+	dsl := `provider "omar" threshold 15 {
+	  attr weight { tuple purpose=care visibility=house granularity=specific retention=year }
+	}`
+	rec = do(t, srv, http.MethodPost, "/providers", dsl)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"registered": 1`) {
+		t.Fatalf("POST /providers = %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, srv, http.MethodGet, "/providers", "")
+	if !strings.Contains(rec.Body.String(), "omar") {
+		t.Errorf("omar missing: %s", rec.Body)
+	}
+	if rec := do(t, srv, http.MethodPost, "/providers", `policy "p" { }`); rec.Code != http.StatusBadRequest {
+		t.Errorf("providerless POST status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPost, "/providers", "junk"); rec.Code != http.StatusBadRequest {
+		t.Errorf("junk POST status = %d", rec.Code)
+	}
+}
+
+func TestAuditAndSweepEndpoints(t *testing.T) {
+	srv := testServer(t)
+	// Generate one denied access for the log.
+	do(t, srv, http.MethodPost, "/query",
+		`{"purpose":"marketing","visibility":2,"sql":"SELECT weight FROM t"}`)
+	rec := do(t, srv, http.MethodGet, "/audit", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "marketing") {
+		t.Fatalf("GET /audit = %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, srv, http.MethodPost, "/sweep", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /sweep = %d %s", rec.Code, rec.Body)
+	}
+	var sweep ppdb.SweepReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if sweep.CellsExpired != 0 || sweep.RowsDeleted != 0 {
+		t.Errorf("fresh sweep = %+v", sweep)
+	}
+	if rec := do(t, srv, http.MethodPost, "/audit", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /audit status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodGet, "/sweep", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep status = %d", rec.Code)
+	}
+}
+
+func TestLoadEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Register the provider named in the CSV first.
+	dsl := `provider "omar" threshold 15 {
+	  attr weight { tuple purpose=care visibility=house granularity=specific retention=year }
+	}`
+	if rec := do(t, srv, http.MethodPost, "/providers", dsl); rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	csvBody := "provider,weight\nomar,92.5\n"
+	rec := do(t, srv, http.MethodPost, "/load?table=t", csvBody)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"loaded": 1`) {
+		t.Fatalf("load = %d %s", rec.Code, rec.Body)
+	}
+	// Unknown provider in the CSV fails.
+	rec = do(t, srv, http.MethodPost, "/load?table=t", "provider,weight\nstranger,1\n")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown provider load = %d %s", rec.Code, rec.Body)
+	}
+	// Missing table param.
+	if rec := do(t, srv, http.MethodPost, "/load", csvBody); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing table = %d", rec.Code)
+	}
+	// Unregistered table.
+	if rec := do(t, srv, http.MethodPost, "/load?table=nope", csvBody); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad table = %d", rec.Code)
+	}
+	// Wrong method.
+	if rec := do(t, srv, http.MethodGet, "/load?table=t", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /load = %d", rec.Code)
+	}
+}
+
+func TestSelfServiceEndpoints(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/self/audit?provider=maria", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"Provider": "maria"`) {
+		t.Fatalf("self audit = %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, srv, http.MethodGet, "/self/data?provider=maria", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "61.5") {
+		t.Fatalf("self data = %d %s", rec.Code, rec.Body)
+	}
+	// Unknown provider → 404; missing param → 400; wrong method → 405.
+	if rec := do(t, srv, http.MethodGet, "/self/audit?provider=zoe", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown provider audit = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodGet, "/self/data", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing provider = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPost, "/self/audit?provider=maria", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST self audit = %d", rec.Code)
+	}
+}

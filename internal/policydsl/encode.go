@@ -1,0 +1,258 @@
+package policydsl
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/privacy"
+)
+
+// Render produces DSL text for a document; Parse(Render(doc)) is equivalent
+// to doc (levels render as scale names where possible).
+func Render(doc *Document) string {
+	var b strings.Builder
+	sc := doc.Scales
+	if sc.Visibility == nil {
+		sc = privacy.DefaultScales()
+	}
+	levelName := func(d privacy.Dimension, l privacy.Level) string {
+		s := sc.For(d)
+		if s != nil && s.Contains(l) {
+			return s.Name(l)
+		}
+		return fmt.Sprintf("%d", int(l))
+	}
+	writeTuple := func(indent string, t privacy.Tuple) {
+		fmt.Fprintf(&b, "%stuple purpose=%s visibility=%s granularity=%s retention=%s\n",
+			indent, t.Purpose,
+			levelName(privacy.DimVisibility, t.Visibility),
+			levelName(privacy.DimGranularity, t.Granularity),
+			levelName(privacy.DimRetention, t.Retention))
+	}
+
+	if doc.Policy != nil {
+		fmt.Fprintf(&b, "policy %q {\n", doc.Policy.Name)
+		for _, attr := range doc.Policy.Attributes() {
+			fmt.Fprintf(&b, "  attr %s {\n", attr)
+			for _, e := range doc.Policy.ForAttribute(attr) {
+				writeTuple("    ", e.Tuple)
+			}
+			b.WriteString("  }\n")
+		}
+		attrs := make([]string, 0, len(doc.AttrSens))
+		for a := range doc.AttrSens {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			fmt.Fprintf(&b, "  sensitivity %s %g\n", a, doc.AttrSens[a])
+		}
+		b.WriteString("}\n")
+	}
+
+	for _, prov := range doc.Providers {
+		fmt.Fprintf(&b, "\nprovider %q threshold %g {\n", prov.Provider, prov.Threshold)
+		for _, attr := range prov.Attributes() {
+			fmt.Fprintf(&b, "  attr %s {\n", attr)
+			// Render the per-attribute default sensitivity when it is not
+			// the unit default.
+			purposes := map[privacy.Purpose]bool{}
+			for _, e := range prov.ForAttribute(attr) {
+				purposes[e.Tuple.Purpose] = true
+			}
+			if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
+				fmt.Fprintf(&b, "    sens value=%g v=%g g=%g r=%g\n",
+					s.Value, s.Visibility, s.Granularity, s.Retention)
+			}
+			// Per-purpose overrides that differ from the default.
+			def := prov.Sensitivity(attr, "")
+			prs := make([]string, 0, len(purposes))
+			for pr := range purposes {
+				prs = append(prs, string(pr))
+			}
+			sort.Strings(prs)
+			for _, pr := range prs {
+				if s := prov.Sensitivity(attr, privacy.Purpose(pr)); s != def {
+					fmt.Fprintf(&b, "    sens purpose=%s value=%g v=%g g=%g r=%g\n",
+						pr, s.Value, s.Visibility, s.Granularity, s.Retention)
+				}
+			}
+			for _, e := range prov.ForAttribute(attr) {
+				writeTuple("    ", e.Tuple)
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// JSON interchange types. Levels are numeric; the scales give them meaning.
+
+// TupleJSON is a privacy tuple in interchange form.
+type TupleJSON struct {
+	Purpose     string `json:"purpose"`
+	Visibility  int    `json:"visibility"`
+	Granularity int    `json:"granularity"`
+	Retention   int    `json:"retention"`
+}
+
+// PolicyJSON is a house policy in interchange form.
+type PolicyJSON struct {
+	Name   string                 `json:"name"`
+	Tuples map[string][]TupleJSON `json:"tuples"` // attribute → tuples
+	Sens   map[string]float64     `json:"sensitivity,omitempty"`
+}
+
+// SensJSON is a σ element in interchange form.
+type SensJSON struct {
+	Purpose     string  `json:"purpose,omitempty"` // empty = attribute default
+	Value       float64 `json:"value"`
+	Visibility  float64 `json:"v"`
+	Granularity float64 `json:"g"`
+	Retention   float64 `json:"r"`
+}
+
+// ProviderJSON is one provider's preferences in interchange form.
+type ProviderJSON struct {
+	Name      string                 `json:"name"`
+	Threshold float64                `json:"threshold"`
+	Tuples    map[string][]TupleJSON `json:"tuples"`
+	Sens      map[string][]SensJSON  `json:"sens,omitempty"`
+}
+
+// DocumentJSON is the whole corpus in interchange form.
+type DocumentJSON struct {
+	Policy    *PolicyJSON    `json:"policy,omitempty"`
+	Providers []ProviderJSON `json:"providers,omitempty"`
+}
+
+func tupleToJSON(t privacy.Tuple) TupleJSON {
+	return TupleJSON{
+		Purpose:     string(t.Purpose),
+		Visibility:  int(t.Visibility),
+		Granularity: int(t.Granularity),
+		Retention:   int(t.Retention),
+	}
+}
+
+func tupleFromJSON(j TupleJSON) privacy.Tuple {
+	return privacy.Tuple{
+		Purpose:     privacy.Purpose(j.Purpose).Normalize(),
+		Visibility:  privacy.Level(j.Visibility),
+		Granularity: privacy.Level(j.Granularity),
+		Retention:   privacy.Level(j.Retention),
+	}
+}
+
+// MarshalJSON encodes the document.
+func MarshalJSON(doc *Document) ([]byte, error) {
+	out := DocumentJSON{}
+	if doc.Policy != nil {
+		pj := &PolicyJSON{Name: doc.Policy.Name, Tuples: map[string][]TupleJSON{}}
+		for _, e := range doc.Policy.Entries() {
+			pj.Tuples[e.Attribute] = append(pj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
+		}
+		if len(doc.AttrSens) > 0 {
+			pj.Sens = map[string]float64(doc.AttrSens)
+		}
+		out.Policy = pj
+	}
+	for _, prov := range doc.Providers {
+		vj := ProviderJSON{
+			Name:      prov.Provider,
+			Threshold: prov.Threshold,
+			Tuples:    map[string][]TupleJSON{},
+			Sens:      map[string][]SensJSON{},
+		}
+		for _, e := range prov.Entries() {
+			vj.Tuples[e.Attribute] = append(vj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
+		}
+		for _, attr := range prov.Attributes() {
+			if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
+				vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
+					Value: s.Value, Visibility: s.Visibility,
+					Granularity: s.Granularity, Retention: s.Retention,
+				})
+			}
+			def := prov.Sensitivity(attr, "")
+			for _, e := range prov.ForAttribute(attr) {
+				if s := prov.Sensitivity(attr, e.Tuple.Purpose); s != def {
+					vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
+						Purpose: string(e.Tuple.Purpose),
+						Value:   s.Value, Visibility: s.Visibility,
+						Granularity: s.Granularity, Retention: s.Retention,
+					})
+				}
+			}
+		}
+		if len(vj.Sens) == 0 {
+			vj.Sens = nil
+		}
+		out.Providers = append(out.Providers, vj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON decodes a document and validates it against the default
+// scales.
+func UnmarshalJSON(data []byte) (*Document, error) {
+	var in DocumentJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("policydsl: %w", err)
+	}
+	doc := &Document{Scales: privacy.DefaultScales(), AttrSens: privacy.AttributeSensitivities{}}
+	if in.Policy != nil {
+		hp := privacy.NewHousePolicy(in.Policy.Name)
+		attrs := make([]string, 0, len(in.Policy.Tuples))
+		for a := range in.Policy.Tuples {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			for _, tj := range in.Policy.Tuples[a] {
+				hp.Add(a, tupleFromJSON(tj))
+			}
+		}
+		for a, v := range in.Policy.Sens {
+			doc.AttrSens.Set(a, v)
+		}
+		if err := hp.Validate(doc.Scales); err != nil {
+			return nil, err
+		}
+		doc.Policy = hp
+	}
+	for _, pj := range in.Providers {
+		prov := privacy.NewPrefs(pj.Name, pj.Threshold)
+		attrs := make([]string, 0, len(pj.Tuples))
+		for a := range pj.Tuples {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			for _, tj := range pj.Tuples[a] {
+				prov.Add(a, tupleFromJSON(tj))
+			}
+		}
+		for a, sl := range pj.Sens {
+			for _, sj := range sl {
+				s := privacy.Sensitivity{
+					Value: sj.Value, Visibility: sj.Visibility,
+					Granularity: sj.Granularity, Retention: sj.Retention,
+				}
+				if sj.Purpose == "" {
+					prov.SetSensitivity(a, s)
+				} else {
+					prov.SetPurposeSensitivity(a, privacy.Purpose(sj.Purpose), s)
+				}
+			}
+		}
+		if err := prov.Validate(doc.Scales); err != nil {
+			return nil, err
+		}
+		doc.Providers = append(doc.Providers, prov)
+	}
+	return doc, nil
+}

@@ -1,0 +1,134 @@
+// Package policydsl parses and renders a small text language for declaring
+// house policies, attribute sensitivities and provider preferences — the
+// concrete syntax that makes the model's inputs auditable artifacts rather
+// than code. A JSON binding is also provided for interchange.
+//
+// Example document:
+//
+//	policy "clinic-v1" {
+//	  attr weight {
+//	    tuple purpose=care visibility=house granularity=specific retention=year
+//	  }
+//	  sensitivity weight 4
+//	}
+//
+//	provider "alice" threshold 50 {
+//	  attr weight {
+//	    sens value=1 v=1 g=2 r=1
+//	    tuple purpose=care visibility=world granularity=specific retention=indefinite
+//	  }
+//	}
+//
+// Level values may be scale names (on the document's scales, default
+// taxonomy scales) or bare integers.
+package policydsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tLBrace
+	tRBrace
+	tEquals
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t tok) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tLBrace:
+		return "{"
+	case tRBrace:
+		return "}"
+	case tEquals:
+		return "="
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, tok{tLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, tok{tRBrace, "}", line})
+			i++
+		case c == '=':
+			toks = append(toks, tok{tEquals, "=", line})
+			i++
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("policydsl: line %d: unterminated string", line)
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("policydsl: line %d: unterminated string", line)
+			}
+			toks = append(toks, tok{tString, b.String(), line})
+			i = j + 1
+		case isNumStart(c):
+			j := i
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == '-' || src[j] == '+' || src[j] == 'e' || src[j] == 'E') {
+				j++
+			}
+			toks = append(toks, tok{tNumber, src[i:j], line})
+			i = j
+		case isIdentRune(rune(c)):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, tok{tIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("policydsl: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, line: line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isNumStart(c byte) bool { return isDigit(c) || c == '-' || c == '+' }
+
+// isIdentRune admits letters, digits, '_' and '-' (purpose and scale names
+// like "third-party" and "email-marketing" are single identifiers).
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

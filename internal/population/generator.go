@@ -1,0 +1,204 @@
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// AttributeSpec describes one collected attribute: its name, the house-side
+// sensitivity Σ^a, and the purposes providers may state preferences for.
+type AttributeSpec struct {
+	Name        string
+	Sensitivity float64           // Σ^a (Eq. 10)
+	Purposes    []privacy.Purpose // purposes this attribute is used for
+}
+
+// Config drives population synthesis.
+type Config struct {
+	// Attributes the house collects.
+	Attributes []AttributeSpec
+	// Scales bound generated levels; zero-value fields fall back to the
+	// default taxonomy scales.
+	Scales privacy.Scales
+	// Segments to draw from; nil means the Westin three.
+	Segments []Segment
+}
+
+// Provider couples generated preferences with the segment they were drawn
+// from, so experiments can break results out by attitude cluster.
+type Provider struct {
+	Prefs   *privacy.Prefs
+	Segment string
+}
+
+// Generator synthesizes providers and microdata deterministically from its
+// RNG.
+type Generator struct {
+	cfg      Config
+	segments []Segment
+	weights  []float64
+	scales   privacy.Scales
+	rng      *RNG
+}
+
+// NewGenerator validates the config and seeds the generator.
+func NewGenerator(cfg Config, seed uint64) (*Generator, error) {
+	if len(cfg.Attributes) == 0 {
+		return nil, fmt.Errorf("population: config needs at least one attribute")
+	}
+	for _, a := range cfg.Attributes {
+		if a.Name == "" {
+			return nil, fmt.Errorf("population: attribute with empty name")
+		}
+		if len(a.Purposes) == 0 {
+			return nil, fmt.Errorf("population: attribute %q has no purposes", a.Name)
+		}
+		if a.Sensitivity < 0 {
+			return nil, fmt.Errorf("population: attribute %q has negative sensitivity", a.Name)
+		}
+	}
+	segs := cfg.Segments
+	if segs == nil {
+		segs = WestinSegments()
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("population: config needs at least one segment")
+	}
+	weights := make([]float64, len(segs))
+	for i, s := range segs {
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("population: segment %q has negative weight", s.Name)
+		}
+		weights[i] = s.Weight
+	}
+	scales := cfg.Scales
+	if scales.Visibility == nil {
+		scales.Visibility = privacy.DefaultVisibility
+	}
+	if scales.Granularity == nil {
+		scales.Granularity = privacy.DefaultGranularity
+	}
+	if scales.Retention == nil {
+		scales.Retention = privacy.DefaultRetention
+	}
+	return &Generator{cfg: cfg, segments: segs, weights: weights, scales: scales, rng: NewRNG(seed)}, nil
+}
+
+// AttributeSensitivities returns the house-side Σ vector implied by the
+// config, for constructing core.Assessor consistently with the population.
+func (g *Generator) AttributeSensitivities() privacy.AttributeSensitivities {
+	as := privacy.AttributeSensitivities{}
+	for _, a := range g.cfg.Attributes {
+		as.Set(a.Name, a.Sensitivity)
+	}
+	return as
+}
+
+// level draws a preference level for one ordered dimension of one segment.
+func (g *Generator) level(seg Segment, scale *privacy.Scale) privacy.Level {
+	max := int(scale.Max())
+	raw := g.rng.Norm(seg.PrefMean, seg.PrefStd) * float64(max)
+	return privacy.Level(ClampInt(int(math.Round(raw)), 0, max))
+}
+
+// posNorm draws a non-negative normal deviate.
+func (g *Generator) posNorm(mean, std float64) float64 {
+	v := g.rng.Norm(mean, std)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Provider generates one provider with the given identity.
+func (g *Generator) Provider(name string) Provider {
+	seg := g.segments[g.rng.Pick(g.weights)]
+	p := privacy.NewPrefs(name, g.rng.LogNorm(seg.ThresholdMu, seg.ThresholdSigma))
+	for _, attr := range g.cfg.Attributes {
+		p.SetSensitivity(attr.Name, privacy.Sensitivity{
+			Value:       g.posNorm(seg.ValueSensMean, seg.ValueSensStd),
+			Visibility:  g.posNorm(seg.DimSensMean, seg.DimSensStd),
+			Granularity: g.posNorm(seg.DimSensMean, seg.DimSensStd),
+			Retention:   g.posNorm(seg.DimSensMean, seg.DimSensStd),
+		})
+		for _, pr := range attr.Purposes {
+			if !g.rng.Bern(seg.ExpressProb) {
+				continue // implicit zero will apply for this purpose
+			}
+			p.Add(attr.Name, privacy.Tuple{
+				Purpose:     pr,
+				Visibility:  g.level(seg, g.scales.Visibility),
+				Granularity: g.level(seg, g.scales.Granularity),
+				Retention:   g.level(seg, g.scales.Retention),
+			})
+		}
+	}
+	return Provider{Prefs: p, Segment: seg.Name}
+}
+
+// Generate produces n providers named provider-0000 … provider-(n-1).
+func (g *Generator) Generate(n int) []Provider {
+	out := make([]Provider, n)
+	for i := range out {
+		out[i] = g.Provider(fmt.Sprintf("provider-%04d", i))
+	}
+	return out
+}
+
+// PrefsOf projects a provider slice to the bare preference list the core
+// assessor consumes.
+func PrefsOf(providers []Provider) []*privacy.Prefs {
+	out := make([]*privacy.Prefs, len(providers))
+	for i, p := range providers {
+		out[i] = p.Prefs
+	}
+	return out
+}
+
+// SegmentCounts tallies providers per segment.
+func SegmentCounts(providers []Provider) map[string]int {
+	out := map[string]int{}
+	for _, p := range providers {
+		out[p.Segment]++
+	}
+	return out
+}
+
+// MicrodataSchema is the canonical schema for synthetic provider microdata
+// used by the PPDB experiments: one row per provider (paper assumption 5).
+func MicrodataSchema() (*relational.Schema, error) {
+	return relational.NewSchema([]relational.Column{
+		{Name: "provider", Type: relational.TypeText, PrimaryKey: true},
+		{Name: "age", Type: relational.TypeInt},
+		{Name: "weight", Type: relational.TypeFloat},
+		{Name: "income", Type: relational.TypeFloat},
+		{Name: "city", Type: relational.TypeText},
+		{Name: "condition", Type: relational.TypeText},
+	})
+}
+
+var (
+	cities     = []string{"calgary", "edmonton", "toronto", "vancouver", "montreal"}
+	conditions = []string{"none", "flu", "asthma", "diabetes", "hypertension"}
+)
+
+// MicrodataRow synthesizes one plausible microdata row for a provider.
+func (g *Generator) MicrodataRow(provider string) relational.Row {
+	age := ClampInt(int(g.rng.Norm(42, 15)), 18, 95)
+	weight := math.Round(g.rng.Norm(75, 14)*10) / 10
+	if weight < 35 {
+		weight = 35
+	}
+	income := math.Round(g.rng.LogNorm(11, 0.5))
+	return relational.Row{
+		relational.Text(provider),
+		relational.Int(int64(age)),
+		relational.Float(weight),
+		relational.Float(income),
+		relational.Text(cities[g.rng.Intn(len(cities))]),
+		relational.Text(conditions[g.rng.Intn(len(conditions))]),
+	}
+}

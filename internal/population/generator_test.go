@@ -1,0 +1,192 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+func testConfig() Config {
+	return Config{
+		Attributes: []AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"research", "marketing"}},
+			{Name: "age", Sensitivity: 1, Purposes: []privacy.Purpose{"research"}},
+		},
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(Config{}, 1); err == nil {
+		t.Error("no attributes should fail")
+	}
+	bad := testConfig()
+	bad.Attributes[0].Name = ""
+	if _, err := NewGenerator(bad, 1); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+	bad2 := testConfig()
+	bad2.Attributes[0].Purposes = nil
+	if _, err := NewGenerator(bad2, 1); err == nil {
+		t.Error("no purposes should fail")
+	}
+	bad3 := testConfig()
+	bad3.Attributes[0].Sensitivity = -1
+	if _, err := NewGenerator(bad3, 1); err == nil {
+		t.Error("negative sensitivity should fail")
+	}
+	bad4 := testConfig()
+	bad4.Segments = []Segment{}
+	if _, err := NewGenerator(bad4, 1); err == nil {
+		t.Error("empty segment list should fail")
+	}
+	bad5 := testConfig()
+	bad5.Segments = []Segment{{Name: "x", Weight: -1}}
+	if _, err := NewGenerator(bad5, 1); err == nil {
+		t.Error("negative segment weight should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := NewGenerator(testConfig(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(testConfig(), 99)
+	p1 := g1.Generate(50)
+	p2 := g2.Generate(50)
+	for i := range p1 {
+		if p1[i].Segment != p2[i].Segment {
+			t.Fatalf("segment divergence at %d", i)
+		}
+		if p1[i].Prefs.Threshold != p2[i].Prefs.Threshold {
+			t.Fatalf("threshold divergence at %d", i)
+		}
+		if p1[i].Prefs.Len() != p2[i].Prefs.Len() {
+			t.Fatalf("tuple count divergence at %d", i)
+		}
+	}
+}
+
+func TestGeneratedProvidersValid(t *testing.T) {
+	g, err := NewGenerator(testConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := privacy.DefaultScales()
+	for _, p := range g.Generate(200) {
+		if err := p.Prefs.Validate(sc); err != nil {
+			t.Fatalf("generated prefs invalid: %v", err)
+		}
+		if p.Prefs.Threshold <= 0 {
+			t.Fatalf("threshold must be positive, got %g", p.Prefs.Threshold)
+		}
+	}
+}
+
+func TestSegmentProportions(t *testing.T) {
+	g, err := NewGenerator(testConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := g.Generate(20000)
+	counts := SegmentCounts(providers)
+	total := float64(len(providers))
+	want := map[string]float64{"fundamentalist": 0.25, "pragmatist": 0.57, "unconcerned": 0.18}
+	for seg, frac := range want {
+		got := float64(counts[seg]) / total
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("segment %s proportion = %g, want ≈ %g", seg, got, frac)
+		}
+	}
+}
+
+func TestSegmentBehaviouralOrdering(t *testing.T) {
+	// Fundamentalists should state stricter preferences, carry higher
+	// sensitivities and default sooner than the unconcerned.
+	cfg := testConfig()
+	stats := func(seg Segment) (meanLevel, meanThresh, meanSens float64) {
+		cfg.Segments = []Segment{seg}
+		g, err := NewGenerator(cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		providers := g.Generate(2000)
+		var lvSum, lvN, thSum, sSum float64
+		for _, p := range providers {
+			thSum += p.Prefs.Threshold
+			s := p.Prefs.Sensitivity("weight", "research")
+			sSum += s.Value
+			for _, e := range p.Prefs.Entries() {
+				lvSum += float64(e.Tuple.Visibility + e.Tuple.Granularity + e.Tuple.Retention)
+				lvN++
+			}
+		}
+		if lvN == 0 {
+			lvN = 1
+		}
+		return lvSum / lvN, thSum / float64(len(providers)), sSum / float64(len(providers))
+	}
+	fLv, fTh, fS := stats(Fundamentalist)
+	uLv, uTh, uS := stats(Unconcerned)
+	if fLv >= uLv {
+		t.Errorf("fundamentalist levels %g should be stricter than unconcerned %g", fLv, uLv)
+	}
+	if fTh >= uTh {
+		t.Errorf("fundamentalist threshold %g should be below unconcerned %g", fTh, uTh)
+	}
+	if fS <= uS {
+		t.Errorf("fundamentalist sensitivity %g should exceed unconcerned %g", fS, uS)
+	}
+}
+
+func TestAttributeSensitivities(t *testing.T) {
+	g, err := NewGenerator(testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := g.AttributeSensitivities()
+	if as.Get("weight") != 4 || as.Get("age") != 1 {
+		t.Errorf("Σ wrong: %v", as)
+	}
+}
+
+func TestPrefsOf(t *testing.T) {
+	g, _ := NewGenerator(testConfig(), 1)
+	providers := g.Generate(5)
+	prefs := PrefsOf(providers)
+	if len(prefs) != 5 {
+		t.Fatalf("len = %d", len(prefs))
+	}
+	for i := range prefs {
+		if prefs[i] != providers[i].Prefs {
+			t.Error("PrefsOf must preserve order and identity")
+		}
+	}
+}
+
+func TestMicrodata(t *testing.T) {
+	schema, err := MicrodataSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := NewGenerator(testConfig(), 21)
+	for i := 0; i < 100; i++ {
+		row := g.MicrodataRow("p")
+		if _, err := schema.CheckRow(row); err != nil {
+			t.Fatalf("microdata row invalid: %v", err)
+		}
+		age, _ := row[1].AsInt()
+		if age < 18 || age > 95 {
+			t.Errorf("age out of range: %d", age)
+		}
+		w, _ := row[2].AsFloat()
+		if w < 35 {
+			t.Errorf("weight out of range: %g", w)
+		}
+		inc, _ := row[3].AsFloat()
+		if inc <= 0 {
+			t.Errorf("income must be positive: %g", inc)
+		}
+	}
+}

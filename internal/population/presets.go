@@ -1,0 +1,49 @@
+package population
+
+import "repro/internal/privacy"
+
+// Attribute-sensitivity presets grounded in the survey literature the paper
+// cites (Sec. 6.1): Westin ranks financial and health information most
+// sensitive; Kobsa ranks financial / purchase-related / online behaviour /
+// religion / politics / occupation above preferences, demographics and
+// lifestyle. Values are on a 1-5 integer scale as Eq. 10 suggests
+// ("sensitivity values (defined as an integer number)").
+const (
+	SensMinimal  = 1.0 // preferences, lifestyle
+	SensLow      = 2.0 // demographics
+	SensModerate = 3.0 // occupation, online behaviour
+	SensHigh     = 4.0 // purchase history, political/religious affiliation
+	SensCritical = 5.0 // financial, health
+)
+
+// WestinKobsaSensitivities returns the house-side Σ vector for the named
+// attribute classes. Unknown attributes keep the package default of 1.
+func WestinKobsaSensitivities() privacy.AttributeSensitivities {
+	as := privacy.AttributeSensitivities{}
+	for attr, v := range map[string]float64{
+		// Westin's top tier.
+		"income":    SensCritical,
+		"salary":    SensCritical,
+		"balance":   SensCritical,
+		"card":      SensCritical,
+		"condition": SensCritical,
+		"diagnosis": SensCritical,
+		"weight":    SensHigh, // health-adjacent (the paper's Σ^Weight = 4)
+		// Kobsa's upper-middle tier.
+		"purchases":  SensHigh,
+		"religion":   SensHigh,
+		"party":      SensHigh,
+		"browsing":   SensModerate,
+		"location":   SensModerate,
+		"occupation": SensModerate,
+		// Lower tiers.
+		"age":        SensLow,
+		"city":       SensLow,
+		"gender":     SensLow,
+		"lifestyle":  SensMinimal,
+		"preference": SensMinimal,
+	} {
+		as.Set(attr, v)
+	}
+	return as
+}

@@ -1,0 +1,28 @@
+package population
+
+import "testing"
+
+func TestWestinKobsaSensitivities(t *testing.T) {
+	as := WestinKobsaSensitivities()
+	// The paper's own anchor: Σ^Weight = 4.
+	if as.Get("weight") != 4 {
+		t.Errorf("Σ^weight = %g, want 4 (the paper's Table 1 value)", as.Get("weight"))
+	}
+	// Ordering constraints from Westin/Kobsa.
+	if !(as.Get("income") > as.Get("purchases")) {
+		t.Error("financial must outrank purchase data")
+	}
+	if !(as.Get("condition") > as.Get("age")) {
+		t.Error("health must outrank demographics")
+	}
+	if !(as.Get("age") > as.Get("lifestyle")) {
+		t.Error("demographics must outrank lifestyle")
+	}
+	// Unknown attributes default to 1.
+	if as.Get("shoe-size") != 1 {
+		t.Errorf("unknown attribute Σ = %g", as.Get("shoe-size"))
+	}
+	if err := as.Validate(); err != nil {
+		t.Errorf("preset invalid: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package population
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("digit %d count %d deviates badly from %d", d, c, n/10)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %g, want ≈ 0.5", mean)
+	}
+	v := r.Range(10, 20)
+	if v < 10 || v >= 20 {
+		t.Errorf("Range = %g", v)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.Norm(10, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %g, want ≈ 10", mean)
+	}
+	if math.Abs(std-3) > 0.1 {
+		t.Errorf("std = %g, want ≈ 3", std)
+	}
+}
+
+func TestLogNormMedian(t *testing.T) {
+	r := NewRNG(13)
+	const n = 50001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNorm(2, 0.5)
+	}
+	// Median of lognormal(mu, sigma) is e^mu.
+	count := 0
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+		if v < math.Exp(2) {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction below e^mu = %g, want ≈ 0.5", frac)
+	}
+}
+
+func TestBern(t *testing.T) {
+	r := NewRNG(17)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bern(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bern(0.3) frequency = %g", frac)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(19)
+	counts := make([]int, 3)
+	weights := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Pick weight %d frequency = %g, want ≈ %g", i, got, want)
+		}
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	r := NewRNG(1)
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pick(%s) should panic", name)
+				}
+			}()
+			r.Pick(weights)
+		}()
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt wrong")
+	}
+}

@@ -1,0 +1,72 @@
+package population
+
+// Segment is a privacy-attitude cluster in the style of Westin's indexes
+// (compiled in Kumaraguru & Cranor's survey, the paper's reference [11]).
+// Each segment parameterises how its members state preferences, weigh
+// sensitivities and tolerate violations before defaulting.
+type Segment struct {
+	// Name labels the segment.
+	Name string
+	// Weight is the segment's population proportion (weights need not sum
+	// to 1; they are normalized when picking).
+	Weight float64
+
+	// PrefMean/PrefStd describe explicit preference levels as a fraction of
+	// each ordered dimension's scale maximum: a member's stated level is
+	// round(Norm(PrefMean, PrefStd) × max), clamped to the scale.
+	// Privacy-strict segments sit low; unconcerned segments sit high.
+	PrefMean, PrefStd float64
+
+	// ExpressProb is the chance the member states an explicit preference for
+	// a given (attribute, purpose); otherwise the Sec. 5 implicit-zero rule
+	// applies during assessment.
+	ExpressProb float64
+
+	// ValueSensMean/Std and DimSensMean/Std parameterise the sensitivity
+	// element σ_i^j (Eq. 11): value weight and per-dimension weights are
+	// Norm draws floored at zero.
+	ValueSensMean, ValueSensStd float64
+	DimSensMean, DimSensStd     float64
+
+	// ThresholdMu/Sigma parameterise the default threshold v_i as a
+	// log-normal (heavy upper tail: some members tolerate a lot).
+	ThresholdMu, ThresholdSigma float64
+}
+
+// Westin's canonical three segments with the proportions reported in
+// Kumaraguru & Cranor (2005): roughly a quarter fundamentalists, a majority
+// of pragmatists, and a small unconcerned group.
+var (
+	// Fundamentalists state strict preferences, weigh violations heavily and
+	// default early.
+	Fundamentalist = Segment{
+		Name: "fundamentalist", Weight: 0.25,
+		PrefMean: 0.25, PrefStd: 0.15, ExpressProb: 0.95,
+		ValueSensMean: 3.0, ValueSensStd: 1.0,
+		DimSensMean: 3.0, DimSensStd: 1.0,
+		ThresholdMu: 2.5, ThresholdSigma: 0.6, // median v_i ≈ 12
+	}
+	// Pragmatists trade privacy for benefit: moderate preferences,
+	// sensitivities and thresholds.
+	Pragmatist = Segment{
+		Name: "pragmatist", Weight: 0.57,
+		PrefMean: 0.55, PrefStd: 0.20, ExpressProb: 0.85,
+		ValueSensMean: 1.5, ValueSensStd: 0.7,
+		DimSensMean: 1.5, DimSensStd: 0.7,
+		ThresholdMu: 3.7, ThresholdSigma: 0.7, // median v_i ≈ 40
+	}
+	// Unconcerned members state loose preferences (often none), weigh
+	// violations lightly and rarely default.
+	Unconcerned = Segment{
+		Name: "unconcerned", Weight: 0.18,
+		PrefMean: 0.85, PrefStd: 0.15, ExpressProb: 0.7,
+		ValueSensMean: 0.6, ValueSensStd: 0.3,
+		DimSensMean: 0.6, DimSensStd: 0.3,
+		ThresholdMu: 5.0, ThresholdSigma: 0.8, // median v_i ≈ 148
+	}
+)
+
+// WestinSegments returns the three canonical segments.
+func WestinSegments() []Segment {
+	return []Segment{Fundamentalist, Pragmatist, Unconcerned}
+}

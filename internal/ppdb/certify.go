@@ -1,0 +1,78 @@
+package ppdb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// Certification is the α-PPDB assessment of the database at a point in time
+// (Def. 3 operationalized): the population report for the current policy
+// over the registered providers, plus the verdict for the requested α.
+type Certification struct {
+	At         time.Time
+	PolicyName string
+	Alpha      float64
+	Report     core.PopulationReport
+	// IsAlphaPPDB is P(W) ≤ α (Eq. 9).
+	IsAlphaPPDB bool
+	// MinAlpha is the smallest α the database would satisfy (its exact
+	// P(W)).
+	MinAlpha float64
+	// WouldDefault lists providers whose Violation_i exceeds their
+	// threshold — the population at risk of leaving.
+	WouldDefault []string
+}
+
+// Certify assesses the current policy against every registered provider and
+// issues the α verdict.
+func (d *DB) Certify(alpha float64) (*Certification, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("ppdb: alpha %g must be in [0, 1]", alpha)
+	}
+	d.mu.RLock()
+	policy := d.policy
+	pop := make([]*privacy.Prefs, 0, len(d.providers))
+	for _, p := range d.providers {
+		pop = append(pop, p)
+	}
+	now := d.now
+	d.mu.RUnlock()
+
+	assessor, err := core.NewAssessor(policy, d.attrSens, d.opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := assessor.AssessPopulation(pop)
+	cert := &Certification{
+		At:          now,
+		PolicyName:  policy.Name,
+		Alpha:       alpha,
+		Report:      rep,
+		IsAlphaPPDB: core.IsAlphaPPDB(rep.PW, alpha),
+		MinAlpha:    rep.PW,
+	}
+	for _, pr := range rep.Providers {
+		if pr.Defaults {
+			cert.WouldDefault = append(cert.WouldDefault, pr.Provider)
+		}
+	}
+	return cert, nil
+}
+
+// EnforceDefaults removes every provider whose violations exceed their
+// threshold (Def. 4), simulating the defaults actually happening. It
+// returns the removed provider names and the number of rows deleted.
+func (d *DB) EnforceDefaults() ([]string, int, error) {
+	cert, err := d.Certify(1)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows := 0
+	for _, name := range cert.WouldDefault {
+		rows += d.RemoveProvider(name)
+	}
+	return cert.WouldDefault, rows, nil
+}

@@ -1,0 +1,140 @@
+package ppdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+func TestAuditByPurpose(t *testing.T) {
+	db := clinicDB(t)
+	db.Query(AccessRequest{Purpose: "care", Visibility: 2, SQL: "SELECT weight FROM patients"})
+	db.Query(AccessRequest{Purpose: "care", Visibility: 2, SQL: "SELECT age FROM patients"})
+	db.Query(AccessRequest{Purpose: "marketing", Visibility: 2, SQL: "SELECT weight FROM patients"})
+	byP := db.Audit().ByPurpose()
+	if byP["care"] != 2 || byP["marketing"] != 1 {
+		t.Errorf("ByPurpose = %v", byP)
+	}
+}
+
+func TestProvidersListing(t *testing.T) {
+	db := clinicDB(t)
+	ps := db.Providers()
+	if len(ps) != 2 {
+		t.Fatalf("providers = %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Provider] = true
+	}
+	if !names["alice"] || !names["bob"] {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// TestSuppressOnlyFallback exercises the default hierarchy for attributes
+// without a registered one: partial granularity suppresses entirely.
+func TestSuppressOnlyFallback(t *testing.T) {
+	hp := privacy.NewHousePolicy("p")
+	hp.Add("provider", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	hp.Add("note", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 1, Retention: 4})
+	db, err := New(Config{Policy: hp}) // no hierarchies registered
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := relational.NewSchema([]relational.Column{
+		{Name: "provider", Type: relational.TypeText, PrimaryKey: true},
+		{Name: "note", Type: relational.TypeText},
+	})
+	if err := db.RegisterTable("t", schema, "provider"); err != nil {
+		t.Fatal(err)
+	}
+	p := privacy.NewPrefs("a", 10)
+	db.RegisterProvider(p)
+	db.Insert("t", "a", relational.Row{relational.Text("a"), relational.Text("secret details")})
+
+	res, err := db.Query(AccessRequest{Purpose: "care", Visibility: 2, SQL: "SELECT note FROM t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Display() != "*" {
+		t.Errorf("note = %q, want suppressed", res.Rows[0][0].Display())
+	}
+	// NULL passes through the suppressor.
+	db2, _ := New(Config{Policy: hp})
+	db2.RegisterTable("t", schema, "provider")
+	db2.RegisterProvider(p.Clone(""))
+	db2.Insert("t", "a", relational.Row{relational.Text("a"), relational.Null()})
+	res, err = db2.Query(AccessRequest{Purpose: "care", Visibility: 2, SQL: "SELECT note FROM t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("NULL should survive suppression: %v", res.Rows[0][0])
+	}
+}
+
+// TestHierarchyLevelMapping pins the policy-granularity → hierarchy-level
+// conversion at the scale edges.
+func TestHierarchyLevelMapping(t *testing.T) {
+	db := clinicDB(t) // weight hierarchy has 4 levels (0..3)
+	// Full granularity (scale max 3) → level 0 (exact).
+	if lv := db.hierarchyLevel("weight", 3); lv != 0 {
+		t.Errorf("g=3 → %d, want 0", lv)
+	}
+	// Zero granularity → full suppression (hierarchy max).
+	if lv := db.hierarchyLevel("weight", 0); lv != db.hierarchyFor("weight").Levels()-1 {
+		t.Errorf("g=0 → %d, want max", lv)
+	}
+	// Intermediate levels are monotone: coarser policy ⇒ deeper level.
+	prev := db.hierarchyLevel("weight", 3)
+	for g := privacy.Level(2); g >= 0; g-- {
+		lv := db.hierarchyLevel("weight", g)
+		if lv < prev {
+			t.Errorf("hierarchy level decreased at g=%d", g)
+		}
+		prev = lv
+	}
+}
+
+// TestQueryGroupedAggregatesGated verifies that aggregates over gated
+// attributes are policy-checked (the Agg walk of referencedAttributes).
+func TestQueryGroupedAggregatesGated(t *testing.T) {
+	db := clinicDB(t)
+	// AVG(weight) for research is allowed (weight has a research tuple)…
+	if _, err := db.Query(AccessRequest{
+		Purpose: "research", Visibility: 3,
+		SQL: "SELECT AVG(weight) FROM patients",
+	}); err != nil {
+		t.Errorf("research aggregate should pass: %v", err)
+	}
+	// …but AVG(age) is not (no research tuple on age).
+	if _, err := db.Query(AccessRequest{
+		Purpose: "research", Visibility: 3,
+		SQL: "SELECT AVG(age) FROM patients",
+	}); err == nil {
+		t.Error("aggregate over ungoverned attribute must be denied")
+	}
+	// ORDER BY and GROUP BY references are gated too.
+	if _, err := db.Query(AccessRequest{
+		Purpose: "research", Visibility: 3,
+		SQL: "SELECT weight FROM patients ORDER BY age",
+	}); err == nil {
+		t.Error("ORDER BY attribute must be gated")
+	}
+	if _, err := db.Query(AccessRequest{
+		Purpose: "research", Visibility: 3,
+		SQL: "SELECT COUNT(*) FROM patients GROUP BY age",
+	}); err == nil {
+		t.Error("GROUP BY attribute must be gated")
+	}
+}
+
+func TestDeniedErrorMessage(t *testing.T) {
+	err := &DeniedError{Attribute: "weight", Reason: "because"}
+	if !strings.Contains(err.Error(), "weight") || !strings.Contains(err.Error(), "because") {
+		t.Errorf("message = %q", err.Error())
+	}
+}

@@ -1,0 +1,293 @@
+package ppdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// AccessRequest is a purpose-bound read: who is asking (a visibility class
+// on the taxonomy's visibility scale), why (a purpose), and what (a SELECT
+// in the engine's SQL dialect).
+type AccessRequest struct {
+	// Requester labels the accessing party for the audit log.
+	Requester string
+	// Visibility is the requester's class on the visibility scale (e.g.
+	// house = 2, third-party = 3 on the default scale). The policy must
+	// grant at least this level on every touched attribute.
+	Visibility privacy.Level
+	// Purpose is the declared purpose of the access. Every touched
+	// attribute must have a policy tuple for it.
+	Purpose privacy.Purpose
+	// SQL is the SELECT to run.
+	SQL string
+}
+
+// DeniedError reports a rejected access with the attribute and reason.
+type DeniedError struct {
+	Attribute string
+	Reason    string
+}
+
+// Error implements error.
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("ppdb: access denied on %q: %s", e.Attribute, e.Reason)
+}
+
+// Query enforces the house policy on a SELECT:
+//
+//  1. Every column referenced anywhere in the statement must have a policy
+//     tuple for the request's purpose — use for an unstated purpose is the
+//     violation class Sec. 1 highlights ("used outside of the stated
+//     purpose"), so it is refused outright.
+//  2. The policy tuple's visibility must admit the requester's class.
+//  3. Result cells are degraded to the policy's granularity level through
+//     the attribute's generalization hierarchy.
+//
+// Both allowed and denied accesses are recorded in the audit log.
+func (d *DB) Query(req AccessRequest) (*relational.Result, error) {
+	st, err := relational.Parse(req.SQL)
+	if err != nil {
+		d.audit.record(d.Now(), req, false, "parse error: "+err.Error())
+		return nil, err
+	}
+	sel, ok := st.(relational.SelectStmt)
+	if !ok {
+		err := fmt.Errorf("ppdb: only SELECT is allowed through Query")
+		d.audit.record(d.Now(), req, false, err.Error())
+		return nil, err
+	}
+
+	d.mu.RLock()
+	policy := d.policy
+	d.mu.RUnlock()
+
+	attrs, err := d.referencedAttributes(sel)
+	if err != nil {
+		d.audit.record(d.Now(), req, false, err.Error())
+		return nil, err
+	}
+
+	// Policy gate per attribute.
+	pr := req.Purpose.Normalize()
+	granted := map[string]privacy.Tuple{}
+	for _, attr := range attrs {
+		tup, found := d.findPolicyTuple(policy, attr, pr)
+		if !found {
+			denied := &DeniedError{Attribute: attr, Reason: fmt.Sprintf("no policy tuple for purpose %q", pr)}
+			d.audit.record(d.Now(), req, false, denied.Error())
+			return nil, denied
+		}
+		if tup.Visibility < req.Visibility {
+			denied := &DeniedError{
+				Attribute: attr,
+				Reason: fmt.Sprintf("policy visibility %s does not admit requester class %s",
+					d.scales.Visibility.Name(tup.Visibility), d.scales.Visibility.Name(req.Visibility)),
+			}
+			d.audit.record(d.Now(), req, false, denied.Error())
+			return nil, denied
+		}
+		granted[attr] = tup
+	}
+
+	res, err := d.rdb.ExecStatement(sel)
+	if err != nil {
+		d.audit.record(d.Now(), req, false, err.Error())
+		return nil, err
+	}
+
+	// Granularity degradation on the projected columns.
+	for ci, col := range res.Columns {
+		tup, ok := granted[strings.ToLower(col)]
+		if !ok {
+			continue // computed column (expression/aggregate alias)
+		}
+		lv := d.hierarchyLevel(col, tup.Granularity)
+		if lv == 0 {
+			continue
+		}
+		h := d.hierarchyFor(col)
+		for ri := range res.Rows {
+			res.Rows[ri][ci] = h.Generalize(res.Rows[ri][ci], lv)
+		}
+	}
+
+	d.audit.record(d.Now(), req, true, "")
+	return res, nil
+}
+
+// findPolicyTuple resolves the governing policy tuple for (attr, purpose)
+// under the configured matcher semantics: with a lattice matcher, a policy
+// stated for a general purpose also governs requests for its
+// specializations.
+func (d *DB) findPolicyTuple(policy *privacy.HousePolicy, attr string, pr privacy.Purpose) (privacy.Tuple, bool) {
+	if tup, ok := policy.Find(attr, pr); ok {
+		return tup, true
+	}
+	m := d.opts.Matcher
+	if m == nil {
+		return privacy.Tuple{}, false
+	}
+	for _, pt := range policy.ForAttribute(attr) {
+		if m.Covers(pt.Tuple.Purpose, pr) {
+			return pt.Tuple, true
+		}
+	}
+	return privacy.Tuple{}, false
+}
+
+// hierarchyFor returns the attribute's hierarchy, defaulting to plain
+// suppression.
+func (d *DB) hierarchyFor(attr string) hierarchy {
+	if h, ok := d.hierarchies[strings.ToLower(attr)]; ok {
+		return h
+	}
+	return suppressOnly{}
+}
+
+// hierarchy is the subset of generalize.Hierarchy the PPDB needs; declared
+// locally to keep the import surface explicit.
+type hierarchy interface {
+	Levels() int
+	Generalize(v relational.Value, level int) relational.Value
+}
+
+// suppressOnly degrades any value to "*" at any level above 0.
+type suppressOnly struct{}
+
+func (suppressOnly) Levels() int { return 2 }
+func (suppressOnly) Generalize(v relational.Value, level int) relational.Value {
+	if level <= 0 || v.IsNull() {
+		return v
+	}
+	return relational.Text("*")
+}
+
+// hierarchyLevel converts a policy granularity level (0 = reveal nothing …
+// scale max = fully specific) into the attribute hierarchy's generalization
+// level (0 = exact … Levels-1 = suppressed), scaling proportionally.
+func (d *DB) hierarchyLevel(attr string, g privacy.Level) int {
+	gmax := int(d.scales.Granularity.Max())
+	if gmax <= 0 {
+		return 0
+	}
+	if g >= privacy.Level(gmax) {
+		return 0
+	}
+	if g <= 0 {
+		return d.hierarchyFor(attr).Levels() - 1
+	}
+	hmax := d.hierarchyFor(attr).Levels() - 1
+	// Fraction of granularity withheld, mapped onto hierarchy levels,
+	// rounding toward more privacy.
+	withheld := float64(gmax-int(g)) / float64(gmax)
+	lv := int(withheld*float64(hmax) + 0.999999)
+	if lv > hmax {
+		lv = hmax
+	}
+	return lv
+}
+
+// referencedAttributes extracts every column name referenced by the SELECT —
+// projections, predicates, grouping, ordering and join conditions — resolved
+// against the registered tables. Star projections expand to all columns.
+func (d *DB) referencedAttributes(sel relational.SelectStmt) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	froms := append([]relational.FromItem{sel.From}, nil...)
+	for _, j := range sel.Joins {
+		froms = append(froms, j.Right)
+	}
+	known := map[string]bool{} // bare column names across referenced tables
+	aliases := map[string]map[string]bool{}
+	for _, f := range froms {
+		tm, ok := d.tables[f.Table]
+		if !ok {
+			return nil, fmt.Errorf("ppdb: table %q is not registered", f.Table)
+		}
+		cols := map[string]bool{}
+		for _, c := range tm.table.Schema().Columns() {
+			known[c.Name] = true
+			cols[c.Name] = true
+		}
+		aliases[strings.ToLower(f.Alias)] = cols
+		aliases[f.Table] = cols
+	}
+
+	seen := map[string]bool{}
+	add := func(name string) {
+		name = strings.ToLower(name)
+		if dot := strings.LastIndex(name, "."); dot >= 0 {
+			name = name[dot+1:]
+		}
+		if known[name] {
+			seen[name] = true
+		}
+	}
+	var walk func(e relational.Expr)
+	walk = func(e relational.Expr) {
+		switch x := e.(type) {
+		case relational.ColRef:
+			add(x.Name)
+		case relational.Binary:
+			walk(x.L)
+			walk(x.R)
+		case relational.Unary:
+			walk(x.X)
+		case relational.IsNull:
+			walk(x.X)
+		case relational.In:
+			walk(x.X)
+			for _, i := range x.List {
+				walk(i)
+			}
+		case relational.Agg:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		if it.Star {
+			for name := range known {
+				seen[name] = true
+			}
+			continue
+		}
+		walk(it.Expr)
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		walk(g)
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+	for _, j := range sel.Joins {
+		walk(j.On)
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	// Exclude provider-identity columns from policy gating? No — identity
+	// is itself private; the policy must cover it like any attribute.
+	sortStrings(out)
+	return out, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package ppdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// coreOptionsWithMatcher builds assessor options carrying a purpose matcher.
+func coreOptionsWithMatcher(m privacy.Matcher) core.Options {
+	return core.Options{Matcher: m}
+}

@@ -1,0 +1,41 @@
+package ppdb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// ImportCSV bulk-loads CSV microdata into a registered table through the
+// PPDB's provenance path: each row's provider column identifies the data
+// provider, who must already be registered (the PPDB refuses data it cannot
+// audit). It returns the number of rows stored; on error, rows before the
+// failure remain stored.
+func (d *DB) ImportCSV(table string, r io.Reader) (int, error) {
+	d.mu.RLock()
+	tm, ok := d.tables[strings.ToLower(table)]
+	d.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("ppdb: table %q is not registered", table)
+	}
+	schema := tm.table.Schema()
+	rows, err := relational.ReadCSV(schema, r)
+	if err != nil {
+		return 0, err
+	}
+	pi, _ := schema.ColumnIndex(tm.providerCol)
+	n := 0
+	for i, row := range rows {
+		provider, ok := row[pi].AsText()
+		if !ok {
+			return n, fmt.Errorf("ppdb: csv row %d has no provider identity", i+1)
+		}
+		if _, err := d.Insert(table, provider, row); err != nil {
+			return n, fmt.Errorf("ppdb: csv row %d: %w", i+1, err)
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,237 @@
+package ppdb
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/policydsl"
+	"repro/internal/relational"
+)
+
+// Durability: Save writes the PPDB's full logical state — policy, provider
+// preferences, attribute sensitivities, table schemas, rows with provenance,
+// and the simulated clock — into a directory of human-readable artifacts:
+//
+//	corpus.dsl            the policy + providers in the DSL
+//	state.json            clock and table registry
+//	tables/<t>.schema.sql CREATE TABLE statement
+//	tables/<t>.csv        rows (header + data)
+//	tables/<t>.meta.csv   per-row provenance (provider, inserted), row-aligned
+//
+// Load rebuilds a DB from such a directory; runtime-only configuration
+// (generalization hierarchies, retention schedule, assessor options) is
+// supplied by the caller's Config, whose Policy field is ignored in favour
+// of the saved one.
+
+// stateJSON is the serialized registry.
+type stateJSON struct {
+	Now    time.Time            `json:"now"`
+	Tables map[string]tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	ProviderCol string `json:"providerCol"`
+}
+
+// Save writes the database state into dir (created if absent). Existing
+// files are overwritten.
+func (d *DB) Save(dir string) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	if err := os.MkdirAll(filepath.Join(dir, "tables"), 0o755); err != nil {
+		return fmt.Errorf("ppdb: save: %w", err)
+	}
+
+	// Corpus: policy + providers (+ Σ).
+	doc := &policydsl.Document{
+		Policy:   d.policy,
+		AttrSens: d.attrSens,
+		Scales:   d.scales,
+	}
+	names := make([]string, 0, len(d.providers))
+	for n := range d.providers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		doc.Providers = append(doc.Providers, d.providers[n])
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corpus.dsl"), []byte(policydsl.Render(doc)), 0o644); err != nil {
+		return fmt.Errorf("ppdb: save corpus: %w", err)
+	}
+
+	state := stateJSON{Now: d.now, Tables: map[string]tableJSON{}}
+	for name, tm := range d.tables {
+		state.Tables[name] = tableJSON{ProviderCol: tm.providerCol}
+
+		schemaSQL := fmt.Sprintf("CREATE TABLE %s (%s)", name, tm.table.Schema())
+		if err := os.WriteFile(filepath.Join(dir, "tables", name+".schema.sql"), []byte(schemaSQL+"\n"), 0o644); err != nil {
+			return fmt.Errorf("ppdb: save schema %s: %w", name, err)
+		}
+
+		var dataBuf, metaBuf strings.Builder
+		metaWriter := csv.NewWriter(&metaBuf)
+		if err := metaWriter.Write([]string{"provider", "inserted"}); err != nil {
+			return err
+		}
+		// Rows in scan (insertion) order so meta lines align.
+		var scanErr error
+		rowsOut := &relational.Result{}
+		schema := tm.table.Schema()
+		cols := make([]string, schema.Len())
+		for i := range cols {
+			cols[i] = schema.Column(i).Name
+		}
+		rowsOut.Columns = cols
+		tm.table.Scan(func(id relational.RowID, row relational.Row) bool {
+			meta, ok := tm.rows[id]
+			if !ok {
+				scanErr = fmt.Errorf("ppdb: row %d of %s has no provenance", id, name)
+				return false
+			}
+			rowsOut.Rows = append(rowsOut.Rows, row)
+			if err := metaWriter.Write([]string{meta.provider, meta.inserted.Format(time.RFC3339Nano)}); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		metaWriter.Flush()
+		if err := metaWriter.Error(); err != nil {
+			return err
+		}
+		if err := relational.ExportCSV(rowsOut, &dataBuf); err != nil {
+			return fmt.Errorf("ppdb: save rows %s: %w", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "tables", name+".csv"), []byte(dataBuf.String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "tables", name+".meta.csv"), []byte(metaBuf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	stateBytes, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "state.json"), append(stateBytes, '\n'), 0o644); err != nil {
+		return fmt.Errorf("ppdb: save state: %w", err)
+	}
+	return nil
+}
+
+// Load rebuilds a DB from a directory written by Save. cfg supplies the
+// runtime-only configuration (hierarchies, retention, options, scales); its
+// Policy and Start fields are ignored — the saved policy and clock win.
+func Load(dir string, cfg Config) (*DB, error) {
+	corpusBytes, err := os.ReadFile(filepath.Join(dir, "corpus.dsl"))
+	if err != nil {
+		return nil, fmt.Errorf("ppdb: load corpus: %w", err)
+	}
+	doc, err := policydsl.Parse(string(corpusBytes))
+	if err != nil {
+		return nil, fmt.Errorf("ppdb: load corpus: %w", err)
+	}
+	if doc.Policy == nil {
+		return nil, fmt.Errorf("ppdb: saved corpus has no policy")
+	}
+	stateBytes, err := os.ReadFile(filepath.Join(dir, "state.json"))
+	if err != nil {
+		return nil, fmt.Errorf("ppdb: load state: %w", err)
+	}
+	var state stateJSON
+	if err := json.Unmarshal(stateBytes, &state); err != nil {
+		return nil, fmt.Errorf("ppdb: load state: %w", err)
+	}
+
+	cfg.Policy = doc.Policy
+	if len(doc.AttrSens) > 0 {
+		cfg.AttrSens = doc.AttrSens
+	}
+	cfg.Start = state.Now
+	db, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range doc.Providers {
+		if err := db.RegisterProvider(p); err != nil {
+			return nil, err
+		}
+	}
+
+	names := make([]string, 0, len(state.Tables))
+	for n := range state.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tj := state.Tables[name]
+		schemaSQL, err := os.ReadFile(filepath.Join(dir, "tables", name+".schema.sql"))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load schema %s: %w", name, err)
+		}
+		st, err := relational.Parse(string(schemaSQL))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load schema %s: %w", name, err)
+		}
+		create, ok := st.(relational.CreateTableStmt)
+		if !ok {
+			return nil, fmt.Errorf("ppdb: schema file for %s is not a CREATE TABLE", name)
+		}
+		schema, err := relational.NewSchema(create.Cols)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.RegisterTable(name, schema, tj.ProviderCol); err != nil {
+			return nil, err
+		}
+
+		dataBytes, err := os.ReadFile(filepath.Join(dir, "tables", name+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load rows %s: %w", name, err)
+		}
+		rows, err := relational.ReadCSV(schema, strings.NewReader(string(dataBytes)))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load rows %s: %w", name, err)
+		}
+		metaBytes, err := os.ReadFile(filepath.Join(dir, "tables", name+".meta.csv"))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load provenance %s: %w", name, err)
+		}
+		metaRecords, err := csv.NewReader(strings.NewReader(string(metaBytes))).ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load provenance %s: %w", name, err)
+		}
+		if len(metaRecords) != len(rows)+1 {
+			return nil, fmt.Errorf("ppdb: provenance for %s has %d records for %d rows", name, len(metaRecords), len(rows))
+		}
+		for i, row := range rows {
+			parts := metaRecords[i+1]
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("ppdb: bad provenance record %d for %s", i+2, name)
+			}
+			inserted, err := time.Parse(time.RFC3339Nano, parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("ppdb: bad provenance time for %s row %d: %w", name, i+1, err)
+			}
+			id, err := db.Insert(name, parts[0], row)
+			if err != nil {
+				return nil, fmt.Errorf("ppdb: reload %s row %d: %w", name, i+1, err)
+			}
+			db.mu.Lock()
+			db.tables[name].rows[id].inserted = inserted
+			db.mu.Unlock()
+		}
+	}
+	return db, nil
+}

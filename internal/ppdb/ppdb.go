@@ -1,0 +1,337 @@
+// Package ppdb is the privacy-preserving database prototype the paper calls
+// for in Sec. 10: a relational store whose reads are bound to a purpose and
+// a requester visibility class, whose answers are degraded to the
+// granularity the house policy grants, whose cells expire per the policy's
+// retention levels, and whose conformance to provider preferences is
+// continuously auditable (α-PPDB certification, Def. 3).
+//
+// The paper's model is audit-oriented — it quantifies the mismatch between
+// policy and preferences. The PPDB adds the enforcement half: the policy is
+// also a ceiling on what queries can return, so the stated policy and the
+// practiced policy coincide (the transparency requirement of Sec. 1).
+package ppdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/generalize"
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// rowMeta tracks per-row provenance: who provided it and when.
+type rowMeta struct {
+	provider string
+	inserted time.Time
+	// expired marks attribute cells already nulled by retention sweeps.
+	expired map[string]bool
+}
+
+// tableMeta is the PPDB bookkeeping for one registered table.
+type tableMeta struct {
+	table       *relational.Table
+	providerCol string
+	rows        map[relational.RowID]*rowMeta
+}
+
+// DB is the privacy-preserving database.
+type DB struct {
+	mu sync.RWMutex
+
+	rdb    *relational.Database
+	scales privacy.Scales
+
+	policy   *privacy.HousePolicy
+	attrSens privacy.AttributeSensitivities
+	opts     core.Options
+
+	providers map[string]*privacy.Prefs
+	tables    map[string]*tableMeta
+
+	hierarchies map[string]generalize.Hierarchy
+	retention   RetentionSchedule
+
+	now   time.Time
+	audit *Audit
+
+	policyLog []PolicyChange
+}
+
+// PolicyChange records one policy version transition for the audit trail
+// (the frequently-changing-policies concern of Secs. 1 and 10).
+type PolicyChange struct {
+	At       time.Time
+	From, To string
+	// DeltaPW and DeltaPDefault are the population-level consequences
+	// measured at switch time.
+	DeltaPW, DeltaPDefault float64
+}
+
+// Config configures a new PPDB.
+type Config struct {
+	// Policy is the house policy HP. Required.
+	Policy *privacy.HousePolicy
+	// AttrSens is the house Σ vector; nil means all 1.
+	AttrSens privacy.AttributeSensitivities
+	// Scales for level validation and rendering; zero fields default.
+	Scales privacy.Scales
+	// Options for the violation assessor.
+	Options core.Options
+	// Hierarchies supply granularity degradation per attribute; attributes
+	// without one are suppressed entirely when the policy grants less than
+	// full granularity.
+	Hierarchies map[string]generalize.Hierarchy
+	// Retention maps retention levels to durations; nil means
+	// DefaultRetentionSchedule.
+	Retention RetentionSchedule
+	// Start is the initial simulated time; zero means a fixed epoch.
+	Start time.Time
+}
+
+// New builds a PPDB.
+func New(cfg Config) (*DB, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("ppdb: config needs a policy")
+	}
+	scales := cfg.Scales
+	if scales.Visibility == nil {
+		scales.Visibility = privacy.DefaultVisibility
+	}
+	if scales.Granularity == nil {
+		scales.Granularity = privacy.DefaultGranularity
+	}
+	if scales.Retention == nil {
+		scales.Retention = privacy.DefaultRetention
+	}
+	if err := cfg.Policy.Validate(scales); err != nil {
+		return nil, err
+	}
+	if err := cfg.AttrSens.Validate(); err != nil {
+		return nil, err
+	}
+	ret := cfg.Retention
+	if ret == nil {
+		ret = DefaultRetentionSchedule(scales.Retention)
+	}
+	if err := ret.Validate(scales.Retention); err != nil {
+		return nil, err
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	hier := make(map[string]generalize.Hierarchy, len(cfg.Hierarchies))
+	for a, h := range cfg.Hierarchies {
+		hier[strings.ToLower(a)] = h
+	}
+	return &DB{
+		rdb:         relational.NewDatabase(),
+		scales:      scales,
+		policy:      cfg.Policy,
+		attrSens:    cfg.AttrSens,
+		opts:        cfg.Options,
+		providers:   make(map[string]*privacy.Prefs),
+		tables:      make(map[string]*tableMeta),
+		hierarchies: hier,
+		retention:   ret,
+		now:         start,
+		audit:       newAudit(),
+	}, nil
+}
+
+// Now returns the simulated clock.
+func (d *DB) Now() time.Time {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.now
+}
+
+// Advance moves the simulated clock forward and returns the new time.
+// Negative durations are rejected.
+func (d *DB) Advance(by time.Duration) (time.Time, error) {
+	if by < 0 {
+		return time.Time{}, fmt.Errorf("ppdb: cannot advance clock by negative duration %s", by)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = d.now.Add(by)
+	return d.now, nil
+}
+
+// Policy returns the current house policy.
+func (d *DB) Policy() *privacy.HousePolicy {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.policy
+}
+
+// PolicyLog returns the recorded policy transitions.
+func (d *DB) PolicyLog() []PolicyChange {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]PolicyChange, len(d.policyLog))
+	copy(out, d.policyLog)
+	return out
+}
+
+// Audit exposes the access/violation log.
+func (d *DB) Audit() *Audit { return d.audit }
+
+// RegisterTable creates a table whose rows each belong to one data provider,
+// identified by providerCol (paper assumption 5: one tuple per provider per
+// table; the PPDB enforces provider existence, not uniqueness, so the
+// one-to-many extension the paper mentions also works).
+func (d *DB) RegisterTable(name string, schema *relational.Schema, providerCol string) error {
+	providerCol = strings.ToLower(strings.TrimSpace(providerCol))
+	if _, ok := schema.ColumnIndex(providerCol); !ok {
+		return fmt.Errorf("ppdb: schema for %q has no provider column %q", name, providerCol)
+	}
+	tab, err := d.rdb.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tables[tab.Name()] = &tableMeta{
+		table:       tab,
+		providerCol: providerCol,
+		rows:        make(map[relational.RowID]*rowMeta),
+	}
+	return nil
+}
+
+// RegisterProvider records a provider's preferences. Re-registering replaces
+// the previous preferences (providers may revise them).
+func (d *DB) RegisterProvider(p *privacy.Prefs) error {
+	if p == nil {
+		return fmt.Errorf("ppdb: nil preferences")
+	}
+	if err := p.Validate(d.scales); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.providers[strings.ToLower(p.Provider)] = p
+	return nil
+}
+
+// Provider looks up registered preferences.
+func (d *DB) Provider(name string) (*privacy.Prefs, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.providers[strings.ToLower(name)]
+	return p, ok
+}
+
+// Providers returns all registered preferences (order unspecified).
+func (d *DB) Providers() []*privacy.Prefs {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*privacy.Prefs, 0, len(d.providers))
+	for _, p := range d.providers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// RemoveProvider deletes a provider's preferences and all of their rows —
+// the mechanics of a default (Def. 4): the provider leaves and contributes
+// zero information.
+func (d *DB) RemoveProvider(name string) int {
+	key := strings.ToLower(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.providers, key)
+	removed := 0
+	for _, tm := range d.tables {
+		for id, meta := range tm.rows {
+			if meta.provider == key {
+				tm.table.Delete(id)
+				delete(tm.rows, id)
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Insert stores a row for a registered provider, stamping provenance with
+// the simulated clock. The provider must have been registered first — the
+// PPDB will not hold data it cannot audit.
+func (d *DB) Insert(table, provider string, row relational.Row) (relational.RowID, error) {
+	key := strings.ToLower(provider)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.providers[key]; !ok {
+		return 0, fmt.Errorf("ppdb: provider %q is not registered", provider)
+	}
+	tm, ok := d.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("ppdb: table %q is not registered", table)
+	}
+	pi, _ := tm.table.Schema().ColumnIndex(tm.providerCol)
+	if pi < len(row) {
+		if s, ok := row[pi].AsText(); !ok || !strings.EqualFold(s, provider) {
+			return 0, fmt.Errorf("ppdb: row provider column %s does not match provider %q", row[pi], provider)
+		}
+	}
+	id, err := tm.table.Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	tm.rows[id] = &rowMeta{provider: key, inserted: d.now, expired: map[string]bool{}}
+	return id, nil
+}
+
+// TableLen returns the number of live rows in a registered table.
+func (d *DB) TableLen(table string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	tm, ok := d.tables[strings.ToLower(table)]
+	if !ok {
+		return 0
+	}
+	return tm.table.Len()
+}
+
+// SetPolicy swaps the house policy, measuring the before/after population
+// impact and appending to the policy log. The returned what-if deltas let
+// callers decide whether to notify providers.
+func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
+	if next == nil {
+		return PolicyChange{}, fmt.Errorf("ppdb: nil policy")
+	}
+	if err := next.Validate(d.scales); err != nil {
+		return PolicyChange{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pop := make([]*privacy.Prefs, 0, len(d.providers))
+	for _, p := range d.providers {
+		pop = append(pop, p)
+	}
+	before, err := core.NewAssessor(d.policy, d.attrSens, d.opts)
+	if err != nil {
+		return PolicyChange{}, err
+	}
+	after, err := core.NewAssessor(next, d.attrSens, d.opts)
+	if err != nil {
+		return PolicyChange{}, err
+	}
+	bRep := before.AssessPopulation(pop)
+	aRep := after.AssessPopulation(pop)
+	change := PolicyChange{
+		At:            d.now,
+		From:          d.policy.Name,
+		To:            next.Name,
+		DeltaPW:       aRep.PW - bRep.PW,
+		DeltaPDefault: aRep.PDefault - bRep.PDefault,
+	}
+	d.policy = next
+	d.policyLog = append(d.policyLog, change)
+	return change, nil
+}

@@ -1,0 +1,182 @@
+package ppdb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// RetentionSchedule maps retention levels to storage durations. The top
+// level of the scale means "keep indefinitely" and needs no entry; level 0
+// means "never store" (cells are expired by the first sweep).
+type RetentionSchedule map[privacy.Level]time.Duration
+
+// DefaultRetentionSchedule interprets the default retention scale
+// none < transient < week < month < year < indefinite.
+func DefaultRetentionSchedule(scale *privacy.Scale) RetentionSchedule {
+	rs := RetentionSchedule{}
+	for l := privacy.Level(0); l < scale.Max(); l++ {
+		switch scale.Name(l) {
+		case "none":
+			rs[l] = 0
+		case "transient":
+			rs[l] = 24 * time.Hour
+		case "week":
+			rs[l] = 7 * 24 * time.Hour
+		case "month":
+			rs[l] = 30 * 24 * time.Hour
+		case "year":
+			rs[l] = 365 * 24 * time.Hour
+		default:
+			// Unknown intermediate levels get a progression of months.
+			rs[l] = time.Duration(l) * 30 * 24 * time.Hour
+		}
+	}
+	return rs
+}
+
+// Validate checks the schedule covers every non-top level and is monotone.
+func (rs RetentionSchedule) Validate(scale *privacy.Scale) error {
+	prev := time.Duration(-1)
+	for l := privacy.Level(0); l < scale.Max(); l++ {
+		d, ok := rs[l]
+		if !ok {
+			return fmt.Errorf("ppdb: retention schedule missing level %d (%s)", l, scale.Name(l))
+		}
+		if d < 0 {
+			return fmt.Errorf("ppdb: retention for %s is negative", scale.Name(l))
+		}
+		if d < prev {
+			return fmt.Errorf("ppdb: retention schedule not monotone at %s", scale.Name(l))
+		}
+		prev = d
+	}
+	return nil
+}
+
+// Expired reports whether a cell inserted at t with retention level l has
+// expired by now. The scale's top level never expires.
+func (rs RetentionSchedule) Expired(scale *privacy.Scale, l privacy.Level, inserted, now time.Time) bool {
+	if l >= scale.Max() {
+		return false
+	}
+	d, ok := rs[l]
+	if !ok {
+		return false
+	}
+	return now.Sub(inserted) > d
+}
+
+// SweepReport summarizes one retention sweep.
+type SweepReport struct {
+	At           time.Time
+	CellsExpired int
+	RowsDeleted  int
+}
+
+// Sweep enforces retention: for every stored row, each attribute cell whose
+// policy retention (the maximum over the attribute's policy tuples — data
+// is kept while any purpose still needs it) has elapsed is nulled out (or
+// suppressed when the column is NOT NULL); rows whose policy-covered cells
+// have all expired are deleted. Providers' identity columns expire last,
+// with their row.
+func (d *DB) Sweep() (SweepReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep := SweepReport{At: d.now}
+
+	for _, tm := range d.tables {
+		schema := tm.table.Schema()
+		// Per-column effective retention level under the current policy.
+		type colPolicy struct {
+			idx     int
+			level   privacy.Level
+			covered bool
+		}
+		cols := make([]colPolicy, schema.Len())
+		for i := 0; i < schema.Len(); i++ {
+			name := schema.Column(i).Name
+			cp := colPolicy{idx: i}
+			for _, pt := range d.policy.ForAttribute(name) {
+				if !cp.covered || pt.Tuple.Retention > cp.level {
+					cp.level = pt.Tuple.Retention
+				}
+				cp.covered = true
+			}
+			cols[i] = cp
+		}
+
+		anyCovered := false
+		for _, cp := range cols {
+			if cp.covered && schema.Column(cp.idx).Name != tm.providerCol {
+				anyCovered = true
+			}
+		}
+
+		var toDelete []relational.RowID
+		for id, meta := range tm.rows {
+			row, ok := tm.table.Get(id)
+			if !ok {
+				continue
+			}
+			changed := false
+			liveCovered := 0
+			for _, cp := range cols {
+				if !cp.covered {
+					continue
+				}
+				name := schema.Column(cp.idx).Name
+				if name == tm.providerCol {
+					// Identity expires with the row, not cell-wise.
+					continue
+				}
+				if meta.expired[name] {
+					continue
+				}
+				if d.retention.Expired(d.scales.Retention, cp.level, meta.inserted, d.now) {
+					if schema.Column(cp.idx).NotNull {
+						row[cp.idx] = relational.Text("*")
+					} else {
+						row[cp.idx] = relational.Null()
+					}
+					meta.expired[name] = true
+					rep.CellsExpired++
+					changed = true
+				} else {
+					liveCovered++
+				}
+			}
+			// Check the provider column's own retention for row deletion.
+			rowExpired := true
+			for _, cp := range cols {
+				if !cp.covered {
+					continue
+				}
+				name := schema.Column(cp.idx).Name
+				if name == tm.providerCol {
+					if !d.retention.Expired(d.scales.Retention, cp.level, meta.inserted, d.now) {
+						rowExpired = false
+					}
+					continue
+				}
+			}
+			if anyCovered && liveCovered == 0 && rowExpired {
+				toDelete = append(toDelete, id)
+				continue
+			}
+			if changed {
+				if err := tm.table.Update(id, row); err != nil {
+					return rep, err
+				}
+			}
+		}
+		for _, id := range toDelete {
+			tm.table.Delete(id)
+			delete(tm.rows, id)
+			rep.RowsDeleted++
+		}
+	}
+	return rep, nil
+}

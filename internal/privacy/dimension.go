@@ -1,0 +1,217 @@
+// Package privacy implements the four-dimensional data-privacy taxonomy of
+// Barker et al. that "Quantifying Privacy Violations" (Banerjee, Karimi Adl,
+// Wu & Barker, SDM@VLDB 2011) builds on: purpose, visibility, granularity
+// and retention. It provides ordered level scales for the three totally
+// ordered dimensions (paper assumption 2), a categorical-or-lattice purpose
+// dimension (assumption 4), privacy tuples (points in the privacy space),
+// house policies, provider preferences and sensitivity vectors (Sec. 6.1).
+package privacy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dimension identifies one axis of the privacy space. Purpose acts as a
+// grouping principle (paper assumption 4); Visibility, Granularity and
+// Retention are totally ordered (assumption 2).
+type Dimension int
+
+// The four privacy dimensions, in the order the paper introduces them
+// (Sec. 4: "There are dim = 4 privacy dimensions").
+const (
+	DimPurpose Dimension = iota
+	DimVisibility
+	DimGranularity
+	DimRetention
+)
+
+// OrderedDimensions lists the three totally ordered dimensions over which
+// violations are measured (the dim ∈ {V, G, R} set of Eq. 14).
+var OrderedDimensions = [3]Dimension{DimVisibility, DimGranularity, DimRetention}
+
+// String returns the conventional lower-case name of the dimension.
+func (d Dimension) String() string {
+	switch d {
+	case DimPurpose:
+		return "purpose"
+	case DimVisibility:
+		return "visibility"
+	case DimGranularity:
+		return "granularity"
+	case DimRetention:
+		return "retention"
+	default:
+		return fmt.Sprintf("dimension(%d)", int(d))
+	}
+}
+
+// ParseDimension converts a dimension name (case-insensitive; "v", "g", "r"
+// and "pr" abbreviations accepted) into a Dimension.
+func ParseDimension(s string) (Dimension, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "purpose", "pr", "p":
+		return DimPurpose, nil
+	case "visibility", "v":
+		return DimVisibility, nil
+	case "granularity", "g":
+		return DimGranularity, nil
+	case "retention", "r":
+		return DimRetention, nil
+	default:
+		return 0, fmt.Errorf("privacy: unknown dimension %q", s)
+	}
+}
+
+// Level is a point on a totally ordered dimension. Higher levels expose more
+// (wider visibility, finer granularity, longer retention). Level 0 is the
+// most restrictive value — the implicit preference the paper assigns when a
+// provider expressed nothing for a purpose (the ⟨i, a, pr, 0, 0, 0⟩ tuple of
+// Sec. 5).
+type Level int
+
+// LevelZero is the most restrictive level on every ordered dimension.
+const LevelZero Level = 0
+
+// Scale names the levels of one ordered dimension, giving the total order of
+// paper assumption 2 a human-readable form. The zero value is not usable;
+// construct with NewScale.
+type Scale struct {
+	dim   Dimension
+	names []string
+	index map[string]Level
+}
+
+// NewScale builds a scale for dim whose levels are named, in increasing
+// exposure order, by names. Names must be non-empty and unique
+// (case-insensitively).
+func NewScale(dim Dimension, names ...string) (*Scale, error) {
+	if dim == DimPurpose {
+		return nil, fmt.Errorf("privacy: purpose is categorical, not scaled (paper assumption 4)")
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("privacy: scale for %s needs at least one level", dim)
+	}
+	s := &Scale{
+		dim:   dim,
+		names: make([]string, len(names)),
+		index: make(map[string]Level, len(names)),
+	}
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("privacy: %s scale level %d has an empty name", dim, i)
+		}
+		key := strings.ToLower(n)
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("privacy: %s scale has duplicate level name %q", dim, n)
+		}
+		s.names[i] = n
+		s.index[key] = Level(i)
+	}
+	return s, nil
+}
+
+// MustScale is NewScale that panics on error, for package-level defaults.
+func MustScale(dim Dimension, names ...string) *Scale {
+	s, err := NewScale(dim, names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dimension reports which dimension the scale describes.
+func (s *Scale) Dimension() Dimension { return s.dim }
+
+// Len returns the number of levels on the scale.
+func (s *Scale) Len() int { return len(s.names) }
+
+// Max returns the highest (most exposing) level on the scale.
+func (s *Scale) Max() Level { return Level(len(s.names) - 1) }
+
+// Level resolves a level name (case-insensitive) to its position.
+func (s *Scale) Level(name string) (Level, bool) {
+	l, ok := s.index[strings.ToLower(strings.TrimSpace(name))]
+	return l, ok
+}
+
+// Name returns the name of level l, or a numeric placeholder when l is off
+// the scale (levels beyond the scale remain ordered; the model only needs
+// the total order).
+func (s *Scale) Name(l Level) string {
+	if l >= 0 && int(l) < len(s.names) {
+		return s.names[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Names returns a copy of the level names in increasing order.
+func (s *Scale) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Contains reports whether l is a level on this scale.
+func (s *Scale) Contains(l Level) bool { return l >= 0 && int(l) < len(s.names) }
+
+// Default scales. These follow the taxonomy paper's canonical orderings:
+// visibility widens from the data owner out to the world; granularity
+// sharpens from mere existence up to the exact value; retention lengthens
+// from immediate deletion to indefinite storage. Level 0 of each is the
+// "reveal nothing" point used by the implicit zero preference.
+var (
+	// DefaultVisibility: none < owner < house < third-party < world.
+	DefaultVisibility = MustScale(DimVisibility, "none", "owner", "house", "third-party", "world")
+	// DefaultGranularity: none < existential < partial < specific.
+	DefaultGranularity = MustScale(DimGranularity, "none", "existential", "partial", "specific")
+	// DefaultRetention: none < transient < week < month < year < indefinite.
+	DefaultRetention = MustScale(DimRetention, "none", "transient", "week", "month", "year", "indefinite")
+)
+
+// Scales bundles one scale per ordered dimension so policies and preferences
+// can be validated and pretty-printed consistently.
+type Scales struct {
+	Visibility  *Scale
+	Granularity *Scale
+	Retention   *Scale
+}
+
+// DefaultScales returns the canonical taxonomy scales.
+func DefaultScales() Scales {
+	return Scales{
+		Visibility:  DefaultVisibility,
+		Granularity: DefaultGranularity,
+		Retention:   DefaultRetention,
+	}
+}
+
+// For returns the scale for an ordered dimension, or nil for purpose.
+func (sc Scales) For(d Dimension) *Scale {
+	switch d {
+	case DimVisibility:
+		return sc.Visibility
+	case DimGranularity:
+		return sc.Granularity
+	case DimRetention:
+		return sc.Retention
+	default:
+		return nil
+	}
+}
+
+// Validate checks that all three ordered scales are present and attached to
+// the right dimensions.
+func (sc Scales) Validate() error {
+	for _, d := range OrderedDimensions {
+		s := sc.For(d)
+		if s == nil {
+			return fmt.Errorf("privacy: missing scale for %s", d)
+		}
+		if s.Dimension() != d {
+			return fmt.Errorf("privacy: scale for %s is attached to %s", d, s.Dimension())
+		}
+	}
+	return nil
+}

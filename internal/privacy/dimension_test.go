@@ -1,0 +1,137 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDimensionString(t *testing.T) {
+	cases := map[Dimension]string{
+		DimPurpose:     "purpose",
+		DimVisibility:  "visibility",
+		DimGranularity: "granularity",
+		DimRetention:   "retention",
+		Dimension(42):  "dimension(42)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Dimension(%d).String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestParseDimension(t *testing.T) {
+	ok := map[string]Dimension{
+		"purpose": DimPurpose, "Pr": DimPurpose, "p": DimPurpose,
+		"visibility": DimVisibility, "V": DimVisibility,
+		"granularity": DimGranularity, "g": DimGranularity,
+		"RETENTION": DimRetention, "r": DimRetention,
+		"  retention  ": DimRetention,
+	}
+	for in, want := range ok {
+		got, err := ParseDimension(in)
+		if err != nil {
+			t.Errorf("ParseDimension(%q) unexpected error: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseDimension(%q) = %s, want %s", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "purp", "xyz", "vg"} {
+		if _, err := ParseDimension(bad); err == nil {
+			t.Errorf("ParseDimension(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNewScale(t *testing.T) {
+	s, err := NewScale(DimVisibility, "none", "owner", "house")
+	if err != nil {
+		t.Fatalf("NewScale: %v", err)
+	}
+	if s.Len() != 3 || s.Max() != 2 || s.Dimension() != DimVisibility {
+		t.Fatalf("scale basics wrong: len=%d max=%d dim=%s", s.Len(), s.Max(), s.Dimension())
+	}
+	if l, ok := s.Level("OWNER"); !ok || l != 1 {
+		t.Errorf("Level(OWNER) = %d,%v want 1,true", l, ok)
+	}
+	if _, ok := s.Level("world"); ok {
+		t.Errorf("Level(world) should be absent")
+	}
+	if s.Name(2) != "house" {
+		t.Errorf("Name(2) = %q", s.Name(2))
+	}
+	if got := s.Name(99); !strings.Contains(got, "99") {
+		t.Errorf("Name(99) = %q, want placeholder", got)
+	}
+	if !s.Contains(0) || s.Contains(3) || s.Contains(-1) {
+		t.Errorf("Contains wrong")
+	}
+}
+
+func TestNewScaleErrors(t *testing.T) {
+	if _, err := NewScale(DimPurpose, "a"); err == nil {
+		t.Error("purpose scale should be rejected")
+	}
+	if _, err := NewScale(DimVisibility); err == nil {
+		t.Error("empty scale should be rejected")
+	}
+	if _, err := NewScale(DimVisibility, "a", ""); err == nil {
+		t.Error("empty level name should be rejected")
+	}
+	if _, err := NewScale(DimVisibility, "a", "A"); err == nil {
+		t.Error("duplicate (case-insensitive) level name should be rejected")
+	}
+}
+
+func TestMustScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustScale should panic on invalid input")
+		}
+	}()
+	MustScale(DimPurpose, "x")
+}
+
+func TestScaleNamesCopy(t *testing.T) {
+	s := MustScale(DimRetention, "none", "short")
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Name(0) != "none" {
+		t.Error("Names() must return a copy")
+	}
+}
+
+func TestDefaultScales(t *testing.T) {
+	sc := DefaultScales()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("default scales invalid: %v", err)
+	}
+	if sc.For(DimVisibility) != DefaultVisibility ||
+		sc.For(DimGranularity) != DefaultGranularity ||
+		sc.For(DimRetention) != DefaultRetention {
+		t.Error("Scales.For returns wrong scale")
+	}
+	if sc.For(DimPurpose) != nil {
+		t.Error("Scales.For(purpose) should be nil")
+	}
+	// Canonical scale shapes the rest of the repo depends on.
+	if DefaultVisibility.Len() != 5 || DefaultGranularity.Len() != 4 || DefaultRetention.Len() != 6 {
+		t.Errorf("default scale lengths changed: v=%d g=%d r=%d",
+			DefaultVisibility.Len(), DefaultGranularity.Len(), DefaultRetention.Len())
+	}
+}
+
+func TestScalesValidateMissing(t *testing.T) {
+	sc := DefaultScales()
+	sc.Granularity = nil
+	if err := sc.Validate(); err == nil {
+		t.Error("missing scale should fail validation")
+	}
+	sc = DefaultScales()
+	sc.Granularity = DefaultVisibility // wrong dimension attached
+	if err := sc.Validate(); err == nil {
+		t.Error("mismatched scale dimension should fail validation")
+	}
+}

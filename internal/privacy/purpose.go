@@ -1,0 +1,186 @@
+package privacy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Purpose identifies a use for which data was collected. The paper treats
+// purpose as a categorical grouping variable (assumption 4): different
+// purposes are distinguishable, and violations are assessed within a shared
+// purpose. A structured semantics (lattice) per Ghazinour & Barker [5] is
+// provided by Lattice for the "ongoing research" extension the paper
+// anticipates.
+type Purpose string
+
+// PurposeAny is the wildcard used by policy queries that do not constrain
+// purpose; it never appears inside stored tuples.
+const PurposeAny Purpose = "*"
+
+// Normalize returns the canonical (lower-cased, trimmed) form of p.
+func (p Purpose) Normalize() Purpose {
+	return Purpose(strings.ToLower(strings.TrimSpace(string(p))))
+}
+
+// Matcher decides whether a provider preference stated for purpose pref
+// covers a house policy tuple stated for purpose pol. The paper's base model
+// uses strict equality (Eq. 13: comp = 0 if p[Pr] ≠ p'[Pr]); a lattice
+// matcher treats a preference for a general purpose as covering its
+// specializations.
+type Matcher interface {
+	// Covers reports whether a preference expressed for pref applies to a
+	// policy tuple expressed for pol.
+	Covers(pref, pol Purpose) bool
+}
+
+// EqualityMatcher is the paper's default purpose semantics: purposes are
+// opaque categories compared for equality.
+type EqualityMatcher struct{}
+
+// Covers implements Matcher by normalized equality.
+func (EqualityMatcher) Covers(pref, pol Purpose) bool {
+	return pref.Normalize() == pol.Normalize()
+}
+
+// Lattice is a partial order over purposes: an edge general → specific means
+// the specific purpose is a refinement of the general one (e.g. marketing →
+// email-marketing). A preference granted for a general purpose covers all of
+// its specializations. Lattice implements Matcher; if purposes are arranged
+// in a chain the model degenerates to the total order the paper mentions as
+// a possible future treatment of purpose.
+type Lattice struct {
+	children map[Purpose][]Purpose
+	parents  map[Purpose][]Purpose
+	nodes    map[Purpose]bool
+}
+
+// NewLattice returns an empty purpose lattice.
+func NewLattice() *Lattice {
+	return &Lattice{
+		children: make(map[Purpose][]Purpose),
+		parents:  make(map[Purpose][]Purpose),
+		nodes:    make(map[Purpose]bool),
+	}
+}
+
+// AddPurpose registers a purpose with no ordering relations.
+func (l *Lattice) AddPurpose(p Purpose) {
+	l.nodes[p.Normalize()] = true
+}
+
+// AddEdge records that specific refines general. Adding an edge that would
+// create a cycle is rejected, keeping the structure a DAG.
+func (l *Lattice) AddEdge(general, specific Purpose) error {
+	g, s := general.Normalize(), specific.Normalize()
+	if g == s {
+		return fmt.Errorf("privacy: purpose %q cannot refine itself", g)
+	}
+	if l.reachable(s, g) {
+		return fmt.Errorf("privacy: edge %s → %s would create a cycle", g, s)
+	}
+	l.nodes[g] = true
+	l.nodes[s] = true
+	l.children[g] = append(l.children[g], s)
+	l.parents[s] = append(l.parents[s], g)
+	return nil
+}
+
+// Contains reports whether p is registered in the lattice.
+func (l *Lattice) Contains(p Purpose) bool { return l.nodes[p.Normalize()] }
+
+// Purposes returns all registered purposes in sorted order.
+func (l *Lattice) Purposes() []Purpose {
+	out := make([]Purpose, 0, len(l.nodes))
+	for p := range l.nodes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reachable reports whether to can be reached from from by following
+// general → specific edges.
+func (l *Lattice) reachable(from, to Purpose) bool {
+	if from == to {
+		return true
+	}
+	seen := map[Purpose]bool{from: true}
+	stack := []Purpose{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range l.children[n] {
+			if c == to {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// Covers implements Matcher: a preference for pref covers a policy purpose
+// pol when they are equal or pol is a (transitive) specialization of pref.
+// Purposes unknown to the lattice fall back to equality.
+func (l *Lattice) Covers(pref, pol Purpose) bool {
+	p, q := pref.Normalize(), pol.Normalize()
+	if p == q {
+		return true
+	}
+	if !l.nodes[p] || !l.nodes[q] {
+		return false
+	}
+	return l.reachable(p, q)
+}
+
+// Specializations returns every purpose reachable from p (excluding p),
+// sorted. Useful for expanding a general consent into concrete purposes.
+func (l *Lattice) Specializations(p Purpose) []Purpose {
+	start := p.Normalize()
+	seen := map[Purpose]bool{}
+	stack := []Purpose{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range l.children[n] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	out := make([]Purpose, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Generalizations returns every purpose from which p is reachable
+// (excluding p), sorted.
+func (l *Lattice) Generalizations(p Purpose) []Purpose {
+	start := p.Normalize()
+	seen := map[Purpose]bool{}
+	stack := []Purpose{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range l.parents[n] {
+			if !seen[g] {
+				seen[g] = true
+				stack = append(stack, g)
+			}
+		}
+	}
+	out := make([]Purpose, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

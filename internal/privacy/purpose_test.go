@@ -1,0 +1,104 @@
+package privacy
+
+import (
+	"testing"
+)
+
+func TestEqualityMatcher(t *testing.T) {
+	m := EqualityMatcher{}
+	if !m.Covers("Care", " care ") {
+		t.Error("normalized equality should match")
+	}
+	if m.Covers("care", "research") {
+		t.Error("distinct purposes must not match")
+	}
+}
+
+func buildLattice(t *testing.T) *Lattice {
+	t.Helper()
+	l := NewLattice()
+	edges := [][2]Purpose{
+		{"any", "marketing"},
+		{"any", "care"},
+		{"marketing", "email-marketing"},
+		{"marketing", "phone-marketing"},
+		{"care", "diagnosis"},
+	}
+	for _, e := range edges {
+		if err := l.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%s, %s): %v", e[0], e[1], err)
+		}
+	}
+	return l
+}
+
+func TestLatticeCovers(t *testing.T) {
+	l := buildLattice(t)
+	cases := []struct {
+		pref, pol Purpose
+		want      bool
+	}{
+		{"marketing", "email-marketing", true},
+		{"any", "email-marketing", true},
+		{"any", "diagnosis", true},
+		{"email-marketing", "marketing", false}, // specific does not cover general
+		{"care", "email-marketing", false},
+		{"marketing", "marketing", true},
+		{"unknown", "unknown", true},            // equality fallback
+		{"unknown", "email-marketing", false},   // unknown never covers known
+		{"marketing", "unknown-purpose", false}, // and vice versa
+	}
+	for _, c := range cases {
+		if got := l.Covers(c.pref, c.pol); got != c.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.pref, c.pol, got, c.want)
+		}
+	}
+}
+
+func TestLatticeCycleRejected(t *testing.T) {
+	l := buildLattice(t)
+	if err := l.AddEdge("email-marketing", "any"); err == nil {
+		t.Error("cycle-creating edge should be rejected")
+	}
+	if err := l.AddEdge("care", "care"); err == nil {
+		t.Error("self-edge should be rejected")
+	}
+}
+
+func TestLatticeSpecializationsGeneralizations(t *testing.T) {
+	l := buildLattice(t)
+	spec := l.Specializations("marketing")
+	if len(spec) != 2 || spec[0] != "email-marketing" || spec[1] != "phone-marketing" {
+		t.Errorf("Specializations(marketing) = %v", spec)
+	}
+	gen := l.Generalizations("email-marketing")
+	if len(gen) != 2 || gen[0] != "any" || gen[1] != "marketing" {
+		t.Errorf("Generalizations(email-marketing) = %v", gen)
+	}
+	if got := l.Specializations("diagnosis"); len(got) != 0 {
+		t.Errorf("leaf should have no specializations, got %v", got)
+	}
+}
+
+func TestLatticePurposesAndContains(t *testing.T) {
+	l := buildLattice(t)
+	l.AddPurpose("Standalone")
+	if !l.Contains("standalone") {
+		t.Error("AddPurpose should register normalized purpose")
+	}
+	ps := l.Purposes()
+	if len(ps) != 7 {
+		t.Errorf("Purposes() = %v, want 7 entries", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] >= ps[i] {
+			t.Errorf("Purposes() not sorted: %v", ps)
+		}
+	}
+}
+
+func TestPurposeNormalize(t *testing.T) {
+	if Purpose("  MiXeD ").Normalize() != "mixed" {
+		t.Error("Normalize should lower-case and trim")
+	}
+}

@@ -1,0 +1,90 @@
+package privacy
+
+import "fmt"
+
+// Sensitivity is the per-datum sensitivity element σ_i^j of Eq. 11:
+// ⟨s_i^j, s_i^j[V], s_i^j[G], s_i^j[R]⟩ — the sensitivity of the data value
+// itself plus the sensitivity the provider attaches to violations along each
+// ordered dimension. All four weights multiply into the conflict measure of
+// Eq. 14.
+type Sensitivity struct {
+	Value       float64 // s_i^j: sensitivity of the data value t_i^j
+	Visibility  float64 // s_i^j[V]
+	Granularity float64 // s_i^j[G]
+	Retention   float64 // s_i^j[R]
+}
+
+// UnitSensitivity weights every component 1, making conf reduce to the
+// attribute-weighted Manhattan overshoot. Useful as an ablation baseline.
+var UnitSensitivity = Sensitivity{Value: 1, Visibility: 1, Granularity: 1, Retention: 1}
+
+// Dim returns the dimensional weight s[dim] for an ordered dimension.
+func (s Sensitivity) Dim(d Dimension) float64 {
+	switch d {
+	case DimVisibility:
+		return s.Visibility
+	case DimGranularity:
+		return s.Granularity
+	case DimRetention:
+		return s.Retention
+	default:
+		panic(fmt.Sprintf("privacy: Sensitivity.Dim(%s): purpose has no weight", d))
+	}
+}
+
+// Scale returns a copy of s with every component multiplied by k.
+func (s Sensitivity) Scale(k float64) Sensitivity {
+	return Sensitivity{
+		Value:       s.Value * k,
+		Visibility:  s.Visibility * k,
+		Granularity: s.Granularity * k,
+		Retention:   s.Retention * k,
+	}
+}
+
+// Validate rejects negative weights; the severity model assumes sensitivities
+// are non-negative so conf is monotone in policy widening.
+func (s Sensitivity) Validate() error {
+	if s.Value < 0 || s.Visibility < 0 || s.Granularity < 0 || s.Retention < 0 {
+		return fmt.Errorf("privacy: sensitivity %+v has a negative component", s)
+	}
+	return nil
+}
+
+// String renders the sensitivity as the paper's vector notation.
+func (s Sensitivity) String() string {
+	return fmt.Sprintf("<%g, %g, %g, %g>", s.Value, s.Visibility, s.Granularity, s.Retention)
+}
+
+// AttributeSensitivities is the house-side vector Σ of Eq. 10: one
+// sensitivity value Σ^j per attribute, reflecting social norms (e.g. Westin
+// ranks financial and health attributes highest). The paper defines Σ^j as
+// an integer; float64 admits normalized survey scores too.
+type AttributeSensitivities map[string]float64
+
+// Get returns Σ^attr, defaulting to 1 for attributes without an explicit
+// entry so unknown attributes still register severity.
+func (as AttributeSensitivities) Get(attr string) float64 {
+	if as == nil {
+		return 1
+	}
+	if v, ok := as[canonAttr(attr)]; ok {
+		return v
+	}
+	return 1
+}
+
+// Set records Σ^attr.
+func (as AttributeSensitivities) Set(attr string, v float64) {
+	as[canonAttr(attr)] = v
+}
+
+// Validate rejects negative attribute sensitivities.
+func (as AttributeSensitivities) Validate() error {
+	for a, v := range as {
+		if v < 0 {
+			return fmt.Errorf("privacy: attribute sensitivity Σ^%s = %g is negative", a, v)
+		}
+	}
+	return nil
+}

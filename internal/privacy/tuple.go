@@ -1,0 +1,147 @@
+package privacy
+
+import (
+	"fmt"
+)
+
+// Tuple is a point in the privacy space P = Pr × V × G × R (Eq. 1). A tuple
+// appears either inside a house policy (how the house intends to use an
+// attribute) or inside a provider preference (the most exposure the provider
+// is comfortable with for a datum). Comparing the two is the heart of the
+// violation model (Sec. 5).
+type Tuple struct {
+	Purpose     Purpose
+	Visibility  Level
+	Granularity Level
+	Retention   Level
+}
+
+// ZeroTuple is the implicit preference ⟨pr, 0, 0, 0⟩ the paper assigns when
+// a provider expressed nothing for a purpose the house uses (Sec. 5): the
+// provider is assumed to prefer revealing nothing for that purpose.
+func ZeroTuple(pr Purpose) Tuple {
+	return Tuple{Purpose: pr, Visibility: LevelZero, Granularity: LevelZero, Retention: LevelZero}
+}
+
+// Get returns the level of an ordered dimension (the p[dim] notation of the
+// paper). It panics for DimPurpose, which is categorical.
+func (t Tuple) Get(d Dimension) Level {
+	switch d {
+	case DimVisibility:
+		return t.Visibility
+	case DimGranularity:
+		return t.Granularity
+	case DimRetention:
+		return t.Retention
+	default:
+		panic(fmt.Sprintf("privacy: Tuple.Get(%s): purpose has no level", d))
+	}
+}
+
+// With returns a copy of t with dimension d set to l. It panics for
+// DimPurpose; use WithPurpose.
+func (t Tuple) With(d Dimension, l Level) Tuple {
+	switch d {
+	case DimVisibility:
+		t.Visibility = l
+	case DimGranularity:
+		t.Granularity = l
+	case DimRetention:
+		t.Retention = l
+	default:
+		panic(fmt.Sprintf("privacy: Tuple.With(%s): purpose has no level", d))
+	}
+	return t
+}
+
+// WithPurpose returns a copy of t bound to purpose pr.
+func (t Tuple) WithPurpose(pr Purpose) Tuple {
+	t.Purpose = pr.Normalize()
+	return t
+}
+
+// Normalize returns t with its purpose in canonical form.
+func (t Tuple) Normalize() Tuple {
+	t.Purpose = t.Purpose.Normalize()
+	return t
+}
+
+// SamePurpose reports whether the two tuples share a purpose under strict
+// equality (the p[Pr] = p'[Pr] condition of Def. 1 and Eq. 13).
+func (t Tuple) SamePurpose(o Tuple) bool {
+	return t.Purpose.Normalize() == o.Purpose.Normalize()
+}
+
+// ExceededDims returns the ordered dimensions along which policy tuple pol
+// exceeds preference tuple t (p[dim] < p'[dim] in Def. 1), assuming the
+// purposes already match. An empty result means the policy tuple is wholly
+// contained in the preference box — the geometric containment of Fig. 1a.
+func (t Tuple) ExceededDims(pol Tuple) []Dimension {
+	var dims []Dimension
+	for _, d := range OrderedDimensions {
+		if t.Get(d) < pol.Get(d) {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+// ExceededBy reports whether pol exceeds t along at least one ordered
+// dimension (the per-pair violation test of Def. 1), assuming purposes match.
+func (t Tuple) ExceededBy(pol Tuple) bool {
+	for _, d := range OrderedDimensions {
+		if t.Get(d) < pol.Get(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether preference t bounds policy tuple pol on every
+// ordered dimension — the "completely bounded box" of Sec. 3.
+func (t Tuple) Contains(pol Tuple) bool { return !t.ExceededBy(pol) }
+
+// Widen returns a copy of t with dimension d increased by delta (floored at
+// zero). Used by policy-expansion scenarios (Sec. 9).
+func (t Tuple) Widen(d Dimension, delta Level) Tuple {
+	l := t.Get(d) + delta
+	if l < 0 {
+		l = 0
+	}
+	return t.With(d, l)
+}
+
+// Validate checks that all levels are non-negative and, when sc provides a
+// scale for a dimension, on that scale.
+func (t Tuple) Validate(sc Scales) error {
+	for _, d := range OrderedDimensions {
+		l := t.Get(d)
+		if l < 0 {
+			return fmt.Errorf("privacy: %s level %d is negative", d, l)
+		}
+		if s := sc.For(d); s != nil && !s.Contains(l) {
+			return fmt.Errorf("privacy: %s level %d is off the %d-level scale", d, l, s.Len())
+		}
+	}
+	return nil
+}
+
+// String renders the tuple with numeric levels: ⟨pr, v, g, r⟩.
+func (t Tuple) String() string {
+	return fmt.Sprintf("<%s, v=%d, g=%d, r=%d>", t.Purpose, t.Visibility, t.Granularity, t.Retention)
+}
+
+// Format renders the tuple with scale names where available.
+func (t Tuple) Format(sc Scales) string {
+	name := func(d Dimension, l Level) string {
+		if s := sc.For(d); s != nil {
+			return s.Name(l)
+		}
+		return fmt.Sprintf("%d", int(l))
+	}
+	return fmt.Sprintf("<%s, v=%s, g=%s, r=%s>",
+		t.Purpose,
+		name(DimVisibility, t.Visibility),
+		name(DimGranularity, t.Granularity),
+		name(DimRetention, t.Retention))
+}

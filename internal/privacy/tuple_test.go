@@ -1,0 +1,156 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleGetWith(t *testing.T) {
+	tp := Tuple{Purpose: "care", Visibility: 1, Granularity: 2, Retention: 3}
+	if tp.Get(DimVisibility) != 1 || tp.Get(DimGranularity) != 2 || tp.Get(DimRetention) != 3 {
+		t.Fatalf("Get wrong: %v", tp)
+	}
+	tp2 := tp.With(DimGranularity, 9)
+	if tp2.Granularity != 9 || tp.Granularity != 2 {
+		t.Error("With must not mutate the receiver")
+	}
+	if tp.WithPurpose(" Marketing ").Purpose != "marketing" {
+		t.Error("WithPurpose must normalize")
+	}
+}
+
+func TestTupleGetPurposePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Get(DimPurpose) should panic")
+		}
+	}()
+	Tuple{}.Get(DimPurpose)
+}
+
+func TestTupleWithPurposePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("With(DimPurpose) should panic")
+		}
+	}()
+	Tuple{}.With(DimPurpose, 1)
+}
+
+func TestZeroTuple(t *testing.T) {
+	z := ZeroTuple("care")
+	if z.Visibility != 0 || z.Granularity != 0 || z.Retention != 0 || z.Purpose != "care" {
+		t.Fatalf("ZeroTuple wrong: %v", z)
+	}
+}
+
+func TestSamePurpose(t *testing.T) {
+	a := Tuple{Purpose: "Care"}
+	b := Tuple{Purpose: " care "}
+	c := Tuple{Purpose: "research"}
+	if !a.SamePurpose(b) {
+		t.Error("normalized purposes should match")
+	}
+	if a.SamePurpose(c) {
+		t.Error("distinct purposes should not match")
+	}
+}
+
+func TestExceededDims(t *testing.T) {
+	pref := Tuple{Purpose: "p", Visibility: 2, Granularity: 2, Retention: 2}
+	cases := []struct {
+		pol  Tuple
+		want []Dimension
+	}{
+		{Tuple{Purpose: "p", Visibility: 2, Granularity: 2, Retention: 2}, nil},
+		{Tuple{Purpose: "p", Visibility: 1, Granularity: 0, Retention: 2}, nil},
+		{Tuple{Purpose: "p", Visibility: 3, Granularity: 2, Retention: 2}, []Dimension{DimVisibility}},
+		{Tuple{Purpose: "p", Visibility: 2, Granularity: 3, Retention: 3}, []Dimension{DimGranularity, DimRetention}},
+		{Tuple{Purpose: "p", Visibility: 4, Granularity: 4, Retention: 4}, []Dimension{DimVisibility, DimGranularity, DimRetention}},
+	}
+	for _, c := range cases {
+		got := pref.ExceededDims(c.pol)
+		if len(got) != len(c.want) {
+			t.Errorf("ExceededDims(%v) = %v, want %v", c.pol, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ExceededDims(%v) = %v, want %v", c.pol, got, c.want)
+			}
+		}
+		if pref.ExceededBy(c.pol) != (len(c.want) > 0) {
+			t.Errorf("ExceededBy(%v) inconsistent with dims", c.pol)
+		}
+		if pref.Contains(c.pol) != (len(c.want) == 0) {
+			t.Errorf("Contains(%v) inconsistent with dims", c.pol)
+		}
+	}
+}
+
+// Property (Fig. 1 geometry): containment is exactly the absence of any
+// exceeded dimension, and widening a contained policy along one dimension
+// past the preference bound breaks containment on that dimension alone.
+func TestContainmentProperty(t *testing.T) {
+	f := func(pv, pg, pr, qv, qg, qr uint8) bool {
+		pref := Tuple{Purpose: "x", Visibility: Level(pv % 8), Granularity: Level(pg % 8), Retention: Level(pr % 8)}
+		pol := Tuple{Purpose: "x", Visibility: Level(qv % 8), Granularity: Level(qg % 8), Retention: Level(qr % 8)}
+		exceeded := pref.ExceededDims(pol)
+		if pref.Contains(pol) != (len(exceeded) == 0) {
+			return false
+		}
+		for _, d := range exceeded {
+			if pref.Get(d) >= pol.Get(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleWiden(t *testing.T) {
+	tp := Tuple{Purpose: "p", Visibility: 1, Granularity: 1, Retention: 1}
+	if got := tp.Widen(DimRetention, 2).Retention; got != 3 {
+		t.Errorf("Widen(+2) = %d, want 3", got)
+	}
+	if got := tp.Widen(DimRetention, -5).Retention; got != 0 {
+		t.Errorf("Widen(-5) = %d, want floor 0", got)
+	}
+}
+
+func TestTupleValidate(t *testing.T) {
+	sc := DefaultScales()
+	ok := Tuple{Purpose: "p", Visibility: 4, Granularity: 3, Retention: 5}
+	if err := ok.Validate(sc); err != nil {
+		t.Errorf("max levels should validate: %v", err)
+	}
+	for _, bad := range []Tuple{
+		{Purpose: "p", Visibility: -1},
+		{Purpose: "p", Visibility: 5},
+		{Purpose: "p", Granularity: 4},
+		{Purpose: "p", Retention: 6},
+	} {
+		if err := bad.Validate(sc); err == nil {
+			t.Errorf("tuple %v should fail validation", bad)
+		}
+	}
+	// No scales: only negativity is checked.
+	if err := (Tuple{Purpose: "p", Visibility: 99}).Validate(Scales{}); err != nil {
+		t.Errorf("scale-less validation should accept large levels: %v", err)
+	}
+}
+
+func TestTupleStrings(t *testing.T) {
+	tp := Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4}
+	if s := tp.String(); !strings.Contains(s, "care") || !strings.Contains(s, "v=2") {
+		t.Errorf("String = %q", s)
+	}
+	f := tp.Format(DefaultScales())
+	if !strings.Contains(f, "house") || !strings.Contains(f, "specific") || !strings.Contains(f, "year") {
+		t.Errorf("Format = %q", f)
+	}
+}

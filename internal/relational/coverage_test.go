@@ -1,0 +1,184 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// Additional edge-case coverage: expression tree walks, grouped evaluation
+// of complex items, lexer corners and statement marker types.
+
+func TestGroupedCompositeExpressions(t *testing.T) {
+	db := fixtureDB(t)
+	// Aggregates inside arithmetic, NOT, IS NULL, IN — all walked by
+	// containsAgg / collectAggs / evalGrouped.
+	res, err := db.Query(`
+		SELECT city,
+		       SUM(age) / COUNT(*) AS mean_age,
+		       MAX(weight) IS NULL AS no_weights,
+		       COUNT(*) IN (2, 3) AS small
+		FROM patients GROUP BY city ORDER BY city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	calgary := res.Rows[0]
+	if mean, _ := calgary[1].AsInt(); mean != 43 { // (34+51+45)/3 integer division
+		t.Errorf("mean_age = %v", calgary[1])
+	}
+	if b, _ := calgary[2].AsBool(); b {
+		t.Errorf("no_weights = %v", calgary[2])
+	}
+	if b, _ := calgary[3].AsBool(); !b {
+		t.Errorf("small = %v", calgary[3])
+	}
+	// Unary minus over an aggregate.
+	res, err = db.Query("SELECT -COUNT(*) AS neg FROM patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != -5 {
+		t.Errorf("neg count = %v", res.Rows[0][0])
+	}
+}
+
+func TestGroupedHavingWithAggExpression(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`
+		SELECT city FROM patients
+		GROUP BY city
+		HAVING NOT (COUNT(*) < 3)
+		ORDER BY city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Display() != "calgary" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByNullsPlacement(t *testing.T) {
+	db := fixtureDB(t)
+	// dave has NULL weight: first ascending, last descending.
+	asc, err := db.Query("SELECT name FROM patients ORDER BY weight, name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asc.Rows[0][0].Display() != "dave" {
+		t.Errorf("ascending first = %v", asc.Rows[0][0])
+	}
+	desc, err := db.Query("SELECT name FROM patients ORDER BY weight DESC, name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Rows[len(desc.Rows)-1][0].Display() != "dave" {
+		t.Errorf("descending last = %v", desc.Rows)
+	}
+}
+
+func TestLexerNumberForms(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT 1e3, 2.5E2, 1.5e+2, 12e-1 FROM patients LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1000, 250, 150, 1.2}
+	for i, w := range want {
+		if f, _ := res.Rows[0][i].AsFloat(); f != w {
+			t.Errorf("col %d = %v, want %g", i, res.Rows[0][i], w)
+		}
+	}
+	// Malformed number.
+	if _, err := db.Query("SELECT 12abc FROM patients"); err == nil {
+		t.Error("malformed number should fail")
+	}
+}
+
+func TestStatementMarkers(t *testing.T) {
+	// The stmt() marker methods exist to seal the Statement interface; call
+	// them for completeness.
+	for _, st := range []Statement{
+		CreateTableStmt{}, DropTableStmt{}, InsertStmt{},
+		SelectStmt{}, UpdateStmt{}, DeleteStmt{},
+	} {
+		st.stmt()
+	}
+}
+
+func TestAggAndSubqueryStringForms(t *testing.T) {
+	a := Agg{Fn: AggSum, Arg: ColRef{Name: "x"}}
+	if a.String() != "SUM(x)" {
+		t.Errorf("Agg.String = %q", a.String())
+	}
+	star := Agg{Fn: AggCount, Star: true}
+	if star.String() != "COUNT(*)" {
+		t.Errorf("star = %q", star.String())
+	}
+	if _, err := star.Eval(MapEnv{}); err == nil {
+		t.Error("raw Agg.Eval must error")
+	}
+	q := InSubquery{X: ColRef{Name: "id"}}
+	if !strings.Contains(q.String(), "IN (SELECT") {
+		t.Errorf("InSubquery.String = %q", q.String())
+	}
+	qn := InSubquery{Not: true, X: ColRef{Name: "id"}}
+	if !strings.Contains(qn.String(), "NOT IN") {
+		t.Errorf("not-in String = %q", qn.String())
+	}
+	if _, err := q.Eval(MapEnv{}); err == nil {
+		t.Error("raw InSubquery.Eval must error")
+	}
+	// Kind and BinOp string forms.
+	if Kind(99).String() == "" || BinOp(99).String() == "" || ColType(99).String() == "" {
+		t.Error("fallback String forms must be non-empty")
+	}
+	if AggFn(99).String() == "" {
+		t.Error("AggFn fallback String must be non-empty")
+	}
+}
+
+func TestInnerWithoutJoinBacktracks(t *testing.T) {
+	db := fixtureDB(t)
+	// INNER not followed by JOIN: the parser backtracks and the statement
+	// fails cleanly ("inner" is reserved and cannot be an alias).
+	if _, err := db.Query("SELECT name FROM patients INNER WHERE id = 1"); err == nil {
+		t.Error("INNER without JOIN should fail to parse")
+	}
+	// The full INNER JOIN spelling still works.
+	res, err := db.Query("SELECT p.name FROM patients p INNER JOIN visits v ON p.id = v.patient_id WHERE v.id = 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Display() != "alice" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestParseExprTrailingInput(t *testing.T) {
+	if _, err := ParseExpr("1 + 2 extra"); err == nil {
+		t.Error("trailing input should fail")
+	}
+	if _, err := ParseExpr("1 +"); err == nil {
+		t.Error("dangling operator should fail")
+	}
+}
+
+func TestSubqueryInsideInListAndNesting(t *testing.T) {
+	db := fixtureDB(t)
+	// Nested IN subquery inside another subquery's WHERE.
+	res, err := db.Query(`
+		SELECT name FROM patients
+		WHERE id IN (
+			SELECT patient_id FROM visits
+			WHERE patient_id IN (SELECT id FROM patients WHERE city = 'calgary')
+		)
+		ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // alice, bob visited and live in calgary
+		t.Errorf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,106 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestImportCSV(t *testing.T) {
+	tab := newPersonTable(t)
+	csvData := `name,id,weight,active
+alice,1,61.5,true
+bob,2,,false
+carol,3,55,YES
+`
+	n, err := ImportCSV(tab, strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || tab.Len() != 3 {
+		t.Fatalf("imported %d rows", n)
+	}
+	_, row, ok := tab.GetByPK(Int(2))
+	if !ok {
+		t.Fatal("bob missing")
+	}
+	if !row[2].IsNull() {
+		t.Errorf("empty cell should be NULL: %v", row[2])
+	}
+	if b, _ := row[3].AsBool(); b {
+		t.Errorf("bob active = %v", row[3])
+	}
+	_, row, _ = tab.GetByPK(Int(3))
+	if w, _ := row[2].AsFloat(); w != 55 {
+		t.Errorf("carol weight = %v", row[2])
+	}
+	if b, _ := row[3].AsBool(); !b {
+		t.Errorf("YES should parse true: %v", row[3])
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing column":  "name,id\na,1\n",
+		"bad int":         "name,id,weight,active\na,x,1,true\n",
+		"bad float":       "name,id,weight,active\na,1,heavy,true\n",
+		"bad bool":        "name,id,weight,active\na,1,1,maybe\n",
+		"pk duplicate":    "name,id,weight,active\na,1,1,true\nb,1,2,false\n",
+		"not null violat": "name,id,weight,active\n,1,1,true\n",
+		"empty input":     "",
+	}
+	for name, data := range cases {
+		tab := newPersonTable(t)
+		if _, err := ImportCSV(tab, strings.NewReader(data)); err == nil {
+			t.Errorf("%s: import should fail", name)
+		}
+	}
+}
+
+func TestExportCSVRoundTrip(t *testing.T) {
+	tab := newPersonTable(t)
+	src := "name,id,weight,active\nalice,1,61.5,TRUE\nbob,2,,FALSE\n"
+	if _, err := ImportCSV(tab, strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportTableCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "id,name,weight,active\n") {
+		t.Errorf("header = %q", out)
+	}
+	if !strings.Contains(out, "1,alice,61.5,TRUE") {
+		t.Errorf("alice row missing:\n%s", out)
+	}
+	// NULL exports as empty.
+	if !strings.Contains(out, "2,bob,,FALSE") {
+		t.Errorf("bob row wrong:\n%s", out)
+	}
+	// Re-import into a fresh table.
+	tab2 := newPersonTable(t)
+	n, err := ImportCSV(tab2, strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tab2.Len() != 2 {
+		t.Errorf("round-trip rows = %d", n)
+	}
+}
+
+func TestExportQueryResultCSV(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT city, COUNT(*) AS n FROM patients GROUP BY city ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportCSV(res, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "city,n\ncalgary,3\nedmonton,2\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,307 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Database is a catalog of tables with a SQL entry point. All methods are
+// safe for concurrent use.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table.
+func (db *Database) CreateTable(name string, schema *Schema) (*Table, error) {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.Name()]; dup {
+		return nil, fmt.Errorf("relational: table %q already exists", t.Name())
+	}
+	db.tables[t.Name()] = t
+	return t, nil
+}
+
+// DropTable removes a table; missing tables are an error.
+func (db *Database) DropTable(name string) error {
+	name = strings.ToLower(strings.TrimSpace(name))
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("relational: table %q does not exist", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(strings.TrimSpace(name))]
+	return t, ok
+}
+
+// TableNames returns the sorted catalog.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of a statement: a relation for SELECT, an affected
+// row count for DML, both zero for DDL.
+type Result struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStatement(st)
+}
+
+// MustExec is Exec that panics on error; for tests and fixtures.
+func (db *Database) MustExec(sql string) *Result {
+	r, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Query is Exec restricted to SELECT statements.
+func (db *Database) Query(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires a SELECT statement")
+	}
+	return db.execSelect(sel)
+}
+
+// ExecStatement executes a parsed statement.
+func (db *Database) ExecStatement(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case CreateTableStmt:
+		return db.execCreate(s)
+	case DropTableStmt:
+		return db.execDrop(s)
+	case InsertStmt:
+		return db.execInsert(s)
+	case SelectStmt:
+		return db.execSelect(s)
+	case UpdateStmt:
+		return db.execUpdate(s)
+	case DeleteStmt:
+		return db.execDelete(s)
+	default:
+		return nil, fmt.Errorf("relational: unsupported statement %T", st)
+	}
+}
+
+func (db *Database) execCreate(s CreateTableStmt) (*Result, error) {
+	schema, err := NewSchema(s.Cols)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable(s.Name, schema); err != nil {
+		if s.IfNotExists {
+			if _, exists := db.Table(s.Name); exists {
+				return &Result{}, nil
+			}
+		}
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *Database) execDrop(s DropTableStmt) (*Result, error) {
+	if err := db.DropTable(s.Name); err != nil {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *Database) execInsert(s InsertStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: table %q does not exist", s.Table)
+	}
+	schema := t.Schema()
+	// Map statement columns to schema positions.
+	targets := make([]int, 0, schema.Len())
+	if len(s.Cols) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, c := range s.Cols {
+			i, ok := schema.ColumnIndex(c)
+			if !ok {
+				return nil, fmt.Errorf("relational: table %q has no column %q", s.Table, c)
+			}
+			targets = append(targets, i)
+		}
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(targets) {
+			return nil, fmt.Errorf("relational: INSERT row has %d values for %d columns", len(exprRow), len(targets))
+		}
+		row := make(Row, schema.Len())
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, e := range exprRow {
+			v, err := e.Eval(MapEnv{})
+			if err != nil {
+				return nil, err
+			}
+			row[targets[i]] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *Database) execUpdate(s UpdateStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: table %q does not exist", s.Table)
+	}
+	schema := t.Schema()
+	type change struct {
+		id  RowID
+		row Row
+	}
+	if s.Where != nil {
+		resolved, err := db.resolveSubqueries(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		s.Where = resolved
+	}
+	var changes []change
+	var evalErr error
+	t.Scan(func(id RowID, row Row) bool {
+		env := rowEnv(s.Table, schema, row)
+		if s.Where != nil {
+			ok, err := Truthy(s.Where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		updated := row.clone()
+		for _, set := range s.Sets {
+			ci, ok := schema.ColumnIndex(set.Col)
+			if !ok {
+				evalErr = fmt.Errorf("relational: table %q has no column %q", s.Table, set.Col)
+				return false
+			}
+			v, err := set.Expr.Eval(env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			updated[ci] = v
+		}
+		changes = append(changes, change{id, updated})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, c := range changes {
+		if err := t.Update(c.id, c.row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(changes)}, nil
+}
+
+func (db *Database) execDelete(s DeleteStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: table %q does not exist", s.Table)
+	}
+	schema := t.Schema()
+	if s.Where != nil {
+		resolved, err := db.resolveSubqueries(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		s.Where = resolved
+	}
+	var ids []RowID
+	var evalErr error
+	t.Scan(func(id RowID, row Row) bool {
+		if s.Where != nil {
+			ok, err := Truthy(s.Where, rowEnv(s.Table, schema, row))
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, id := range ids {
+		t.Delete(id)
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+// rowEnv builds the evaluation environment for one row of one table: bare
+// and alias-qualified column names.
+func rowEnv(alias string, schema *Schema, row Row) MapEnv {
+	env := make(MapEnv, schema.Len()*2)
+	alias = strings.ToLower(alias)
+	for i := 0; i < schema.Len(); i++ {
+		name := schema.Column(i).Name
+		env[name] = row[i]
+		env[alias+"."+name] = row[i]
+	}
+	return env
+}

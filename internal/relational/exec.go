@@ -1,0 +1,910 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// joinedEnv is the evaluation environment for a (possibly joined) row set:
+// qualified names always resolve; bare names resolve when unambiguous.
+type joinedEnv struct {
+	qualified map[string]Value
+	bare      map[string]Value // only unambiguous bare names
+	ambiguous map[string]bool
+}
+
+// Col implements Env.
+func (e *joinedEnv) Col(name string) (Value, error) {
+	name = strings.ToLower(name)
+	if v, ok := e.qualified[name]; ok {
+		return v, nil
+	}
+	if e.ambiguous[name] {
+		return Null(), fmt.Errorf("relational: ambiguous column %q (qualify it)", name)
+	}
+	if v, ok := e.bare[name]; ok {
+		return v, nil
+	}
+	return Null(), fmt.Errorf("relational: unknown column %q", name)
+}
+
+// sourceRow is one row of the FROM product: the env plus the contributing
+// tables' rows for SELECT * expansion.
+type sourceRow struct {
+	env  *joinedEnv
+	rows []Row // one per FROM/JOIN item, in order
+}
+
+type sourceInfo struct {
+	item   FromItem
+	schema *Schema
+}
+
+// resolveSubqueries rewrites uncorrelated IN (SELECT …) nodes into literal
+// IN lists by executing the subqueries up front. The subquery must project
+// exactly one column.
+func (db *Database) resolveSubqueries(e Expr) (Expr, error) {
+	switch x := e.(type) {
+	case InSubquery:
+		res, err := db.execSelect(x.Query)
+		if err != nil {
+			return nil, fmt.Errorf("relational: subquery: %w", err)
+		}
+		if len(res.Columns) != 1 {
+			return nil, fmt.Errorf("relational: IN subquery must project exactly one column, got %d", len(res.Columns))
+		}
+		inner, err := db.resolveSubqueries(x.X)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(res.Rows))
+		for i, r := range res.Rows {
+			list[i] = Literal{r[0]}
+		}
+		return In{Not: x.Not, X: inner, List: list}, nil
+	case Binary:
+		l, err := db.resolveSubqueries(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.resolveSubqueries(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: x.Op, L: l, R: r}, nil
+	case Unary:
+		inner, err := db.resolveSubqueries(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Neg: x.Neg, X: inner}, nil
+	case IsNull:
+		inner, err := db.resolveSubqueries(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return IsNull{Not: x.Not, X: inner}, nil
+	case In:
+		inner, err := db.resolveSubqueries(x.X)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, item := range x.List {
+			ri, err := db.resolveSubqueries(item)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = ri
+		}
+		return In{Not: x.Not, X: inner, List: list}, nil
+	default:
+		return e, nil
+	}
+}
+
+// execSelect runs a SELECT: FROM/JOIN product → WHERE filter → grouping or
+// plain projection → HAVING → ORDER BY → LIMIT/OFFSET.
+func (db *Database) execSelect(s SelectStmt) (*Result, error) {
+	if s.Where != nil {
+		resolved, err := db.resolveSubqueries(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		s.Where = resolved
+	}
+	if s.Having != nil {
+		resolved, err := db.resolveSubqueries(s.Having)
+		if err != nil {
+			return nil, err
+		}
+		s.Having = resolved
+	}
+	return db.execSelectResolved(s)
+}
+
+// execSelectResolved runs a SELECT whose predicates contain no subqueries.
+func (db *Database) execSelectResolved(s SelectStmt) (*Result, error) {
+	sources := []sourceInfo{}
+	base, ok := db.Table(s.From.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: table %q does not exist", s.From.Table)
+	}
+	sources = append(sources, sourceInfo{s.From, base.Schema()})
+	tables := []*Table{base}
+	for _, j := range s.Joins {
+		t, ok := db.Table(j.Right.Table)
+		if !ok {
+			return nil, fmt.Errorf("relational: table %q does not exist", j.Right.Table)
+		}
+		sources = append(sources, sourceInfo{j.Right, t.Schema()})
+		tables = append(tables, t)
+	}
+
+	// Detect bare-name ambiguity across sources once.
+	ambiguous := map[string]bool{}
+	seen := map[string]bool{}
+	for _, src := range sources {
+		for _, c := range src.schema.Columns() {
+			if seen[c.Name] {
+				ambiguous[c.Name] = true
+			}
+			seen[c.Name] = true
+		}
+	}
+
+	buildEnv := func(rows []Row) *joinedEnv {
+		env := &joinedEnv{
+			qualified: make(map[string]Value),
+			bare:      make(map[string]Value),
+			ambiguous: ambiguous,
+		}
+		for si, src := range sources {
+			alias := strings.ToLower(src.item.Alias)
+			for ci := 0; ci < src.schema.Len(); ci++ {
+				name := src.schema.Column(ci).Name
+				v := rows[si][ci]
+				env.qualified[alias+"."+name] = v
+				if !ambiguous[name] {
+					env.bare[name] = v
+				}
+			}
+		}
+		return env
+	}
+
+	// Index-assisted access path for the base table: a conjunct of the form
+	// col = literal over an indexed column of the base table narrows the
+	// outer loop to the index bucket instead of a full scan.
+	scanBase := func(fn func(id RowID, row Row) bool) error {
+		// Only single-table queries use the index path: with joins, a bare
+		// column name in the conjunct could be ambiguous.
+		if col, val, ok := eqIndexLookup(s.Where, sources[0], base); ok && len(s.Joins) == 0 {
+			ids, err := base.Lookup(col, val)
+			if err != nil {
+				return err
+			}
+			for _, id := range ids {
+				row, live := base.Get(id)
+				if !live {
+					continue
+				}
+				if !fn(id, row) {
+					return nil
+				}
+			}
+			return nil
+		}
+		base.Scan(fn)
+		return nil
+	}
+
+	// Materialize the joined, filtered row set via nested-loop join.
+	var rowsOut []sourceRow
+	var walkErr error
+	var walk func(depth int, acc []Row)
+	walk = func(depth int, acc []Row) {
+		if walkErr != nil {
+			return
+		}
+		if depth == len(tables) {
+			env := buildEnv(acc)
+			if s.Where != nil {
+				ok, err := Truthy(s.Where, env)
+				if err != nil {
+					walkErr = err
+					return
+				}
+				if !ok {
+					return
+				}
+			}
+			cp := make([]Row, len(acc))
+			copy(cp, acc)
+			rowsOut = append(rowsOut, sourceRow{env: env, rows: cp})
+			return
+		}
+		visit := func(_ RowID, row Row) bool {
+			acc = append(acc, row)
+			if depth > 0 {
+				// Apply this join's ON condition as soon as its row is bound.
+				env := buildEnvPartial(sources[:depth+1], acc, ambiguous)
+				ok, err := Truthy(s.Joins[depth-1].On, env)
+				if err != nil {
+					walkErr = err
+					acc = acc[:len(acc)-1]
+					return false
+				}
+				if ok {
+					walk(depth+1, acc)
+				}
+			} else {
+				walk(depth+1, acc)
+			}
+			acc = acc[:len(acc)-1]
+			return walkErr == nil
+		}
+		if depth == 0 {
+			if err := scanBase(visit); err != nil {
+				walkErr = err
+			}
+			return
+		}
+		tables[depth].Scan(visit)
+	}
+	walk(0, nil)
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	if len(s.GroupBy) > 0 || hasAggregates(s.Items) {
+		return db.execGrouped(s, sources, rowsOut)
+	}
+
+	// Plain projection.
+	cols, project, err := buildProjection(s.Items, sources)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	for _, sr := range rowsOut {
+		out, err := project(sr)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if s.Distinct {
+		res.Rows, rowsOut = dedupeRows(res.Rows, rowsOut)
+	}
+	if err := orderAndLimit(res, s, sources, rowsOut, false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// dedupeRows removes duplicate projected rows (first occurrence wins),
+// keeping the parallel source-row slice aligned when provided.
+func dedupeRows(rows [][]Value, src []sourceRow) ([][]Value, []sourceRow) {
+	seen := make(map[string]bool, len(rows))
+	outRows := rows[:0]
+	var outSrc []sourceRow
+	if src != nil {
+		outSrc = src[:0]
+	}
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.key())
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		outRows = append(outRows, r)
+		if src != nil && i < len(src) {
+			outSrc = append(outSrc, src[i])
+		}
+	}
+	return outRows, outSrc
+}
+
+// eqIndexLookup inspects the WHERE clause's top-level conjuncts for
+// col = literal (or literal = col) over an indexed column of the base table,
+// returning the access-path key when found.
+func eqIndexLookup(where Expr, src sourceInfo, base *Table) (string, Value, bool) {
+	if where == nil {
+		return "", Value{}, false
+	}
+	var conjuncts []Expr
+	var split func(e Expr)
+	split = func(e Expr) {
+		if b, ok := e.(Binary); ok && b.Op == OpAnd {
+			split(b.L)
+			split(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	split(where)
+	for _, c := range conjuncts {
+		b, ok := c.(Binary)
+		if !ok || b.Op != OpEq {
+			continue
+		}
+		col, lit := b.L, b.R
+		cr, isCol := col.(ColRef)
+		lv, isLit := lit.(Literal)
+		if !isCol || !isLit {
+			cr, isCol = lit.(ColRef)
+			lv, isLit = col.(Literal)
+			if !isCol || !isLit {
+				continue
+			}
+		}
+		name := strings.ToLower(cr.Name)
+		if dot := strings.LastIndex(name, "."); dot >= 0 {
+			qual := name[:dot]
+			if qual != strings.ToLower(src.item.Alias) && qual != src.item.Table {
+				continue
+			}
+			name = name[dot+1:]
+		}
+		if _, ok := base.Schema().ColumnIndex(name); !ok {
+			continue
+		}
+		if !base.HasIndex(name) || lv.Val.IsNull() {
+			continue
+		}
+		return name, lv.Val, true
+	}
+	return "", Value{}, false
+}
+
+// buildEnvPartial builds an env over the first len(acc) sources for ON
+// evaluation during join nesting.
+func buildEnvPartial(sources []sourceInfo, acc []Row, ambiguous map[string]bool) *joinedEnv {
+	env := &joinedEnv{
+		qualified: make(map[string]Value),
+		bare:      make(map[string]Value),
+		ambiguous: ambiguous,
+	}
+	for si := range sources {
+		alias := strings.ToLower(sources[si].item.Alias)
+		for ci := 0; ci < sources[si].schema.Len(); ci++ {
+			name := sources[si].schema.Column(ci).Name
+			v := acc[si][ci]
+			env.qualified[alias+"."+name] = v
+			if !ambiguous[name] {
+				env.bare[name] = v
+			}
+		}
+	}
+	return env
+}
+
+func hasAggregates(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil && containsAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case Agg:
+		return true
+	case Binary:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case Unary:
+		return containsAgg(x.X)
+	case IsNull:
+		return containsAgg(x.X)
+	case In:
+		if containsAgg(x.X) {
+			return true
+		}
+		for _, i := range x.List {
+			if containsAgg(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildProjection compiles SELECT items into output column names and a
+// per-row projector. Star items expand in source order.
+func buildProjection(items []SelectItem, sources []sourceInfo) ([]string, func(sourceRow) ([]Value, error), error) {
+	type projector func(sourceRow) (Value, error)
+	var cols []string
+	var projs []projector
+	for _, it := range items {
+		if it.Star {
+			for si := range sources {
+				src := sources[si]
+				for ci := 0; ci < src.schema.Len(); ci++ {
+					si2, ci2 := si, ci
+					cols = append(cols, src.schema.Column(ci).Name)
+					projs = append(projs, func(sr sourceRow) (Value, error) {
+						return sr.rows[si2][ci2], nil
+					})
+				}
+			}
+			continue
+		}
+		e := it.Expr
+		name := it.Alias
+		if name == "" {
+			if cr, ok := e.(ColRef); ok {
+				name = cr.Name
+				if dot := strings.LastIndex(name, "."); dot >= 0 {
+					name = name[dot+1:]
+				}
+			} else {
+				name = strings.ToLower(e.String())
+			}
+		}
+		cols = append(cols, name)
+		projs = append(projs, func(sr sourceRow) (Value, error) {
+			return e.Eval(sr.env)
+		})
+	}
+	project := func(sr sourceRow) ([]Value, error) {
+		out := make([]Value, len(projs))
+		for i, p := range projs {
+			v, err := p(sr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return cols, project, nil
+}
+
+// orderAndLimit applies ORDER BY / LIMIT / OFFSET to res. For plain selects
+// the order keys are evaluated against the source rows (kept parallel to
+// res.Rows); grouped results pass grouped=true and evaluate keys against the
+// result columns instead.
+func orderAndLimit(res *Result, s SelectStmt, sources []sourceInfo, srcRows []sourceRow, grouped bool) error {
+	if len(s.OrderBy) > 0 {
+		type keyed struct {
+			row  []Value
+			keys []Value
+		}
+		items := make([]keyed, len(res.Rows))
+		for i, row := range res.Rows {
+			var env Env
+			if grouped || i >= len(srcRows) {
+				m := MapEnv{}
+				for ci, cn := range res.Columns {
+					m[cn] = row[ci]
+				}
+				env = m
+			} else {
+				env = srcRows[i].env
+			}
+			keys := make([]Value, len(s.OrderBy))
+			for ki, ob := range s.OrderBy {
+				v, err := ob.Expr.Eval(env)
+				if err != nil {
+					// Fall back to output-column resolution (aliases).
+					m := MapEnv{}
+					for ci, cn := range res.Columns {
+						m[cn] = row[ci]
+					}
+					v2, err2 := ob.Expr.Eval(m)
+					if err2 != nil {
+						return err
+					}
+					v = v2
+				}
+				keys[ki] = v
+			}
+			items[i] = keyed{row, keys}
+		}
+		var sortErr error
+		sort.SliceStable(items, func(a, b int) bool {
+			for ki, ob := range s.OrderBy {
+				va, vb := items[a].keys[ki], items[b].keys[ki]
+				// NULLs first ascending, last descending.
+				if va.IsNull() || vb.IsNull() {
+					if va.IsNull() && vb.IsNull() {
+						continue
+					}
+					return va.IsNull() != ob.Desc
+				}
+				c, err := Compare(va, vb)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return sortErr
+		}
+		for i := range items {
+			res.Rows[i] = items[i].row
+		}
+	}
+	if s.Offset > 0 {
+		if s.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	return nil
+}
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	fn      AggFn
+	count   int64
+	sum     float64
+	sumInt  int64
+	allInt  bool
+	min     Value
+	max     Value
+	started bool
+}
+
+func newAggState(fn AggFn) *aggState {
+	return &aggState{fn: fn, allInt: true}
+}
+
+func (st *aggState) add(v Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	st.count++
+	switch st.fn {
+	case AggCount:
+		return nil
+	case AggSum, AggAvg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("relational: %s needs numeric input, got %s", st.fn, v.Kind())
+		}
+		st.sum += f
+		if i, isInt := v.AsInt(); isInt {
+			st.sumInt += i
+		} else {
+			st.allInt = false
+		}
+	case AggMin, AggMax:
+		if !st.started {
+			st.min, st.max, st.started = v, v, true
+			return nil
+		}
+		c, err := Compare(v, st.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			st.min = v
+		}
+		c, err = Compare(v, st.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func (st *aggState) result() Value {
+	switch st.fn {
+	case AggCount:
+		return Int(st.count)
+	case AggSum:
+		if st.count == 0 {
+			return Null()
+		}
+		if st.allInt {
+			return Int(st.sumInt)
+		}
+		return Float(st.sum)
+	case AggAvg:
+		if st.count == 0 {
+			return Null()
+		}
+		return Float(st.sum / float64(st.count))
+	case AggMin:
+		if !st.started {
+			return Null()
+		}
+		return st.min
+	case AggMax:
+		if !st.started {
+			return Null()
+		}
+		return st.max
+	}
+	return Null()
+}
+
+// groupEnv evaluates expressions over a group: aggregates via their states,
+// everything else against the group's first row (valid for GROUP BY keys).
+type groupEnv struct {
+	first *joinedEnv
+	aggs  map[string]*aggState
+}
+
+func evalGrouped(e Expr, g *groupEnv) (Value, error) {
+	switch x := e.(type) {
+	case Agg:
+		if st, ok := g.aggs[x.String()]; ok {
+			return st.result(), nil
+		}
+		return Null(), fmt.Errorf("relational: unregistered aggregate %s", x)
+	case Binary:
+		l, err := evalGrouped(x.L, g)
+		if err != nil {
+			return Null(), err
+		}
+		r, err := evalGrouped(x.R, g)
+		if err != nil {
+			return Null(), err
+		}
+		return Binary{Op: x.Op, L: Literal{l}, R: Literal{r}}.Eval(MapEnv{})
+	case Unary:
+		v, err := evalGrouped(x.X, g)
+		if err != nil {
+			return Null(), err
+		}
+		return Unary{Neg: x.Neg, X: Literal{v}}.Eval(MapEnv{})
+	case IsNull:
+		v, err := evalGrouped(x.X, g)
+		if err != nil {
+			return Null(), err
+		}
+		return IsNull{Not: x.Not, X: Literal{v}}.Eval(MapEnv{})
+	case In:
+		v, err := evalGrouped(x.X, g)
+		if err != nil {
+			return Null(), err
+		}
+		list := make([]Expr, len(x.List))
+		for i, item := range x.List {
+			iv, err := evalGrouped(item, g)
+			if err != nil {
+				return Null(), err
+			}
+			list[i] = Literal{iv}
+		}
+		return In{Not: x.Not, X: Literal{v}, List: list}.Eval(MapEnv{})
+	default:
+		return e.Eval(g.first)
+	}
+}
+
+// collectAggs walks an expression tree collecting aggregate calls.
+func collectAggs(e Expr, into map[string]Agg) {
+	switch x := e.(type) {
+	case Agg:
+		into[x.String()] = x
+	case Binary:
+		collectAggs(x.L, into)
+		collectAggs(x.R, into)
+	case Unary:
+		collectAggs(x.X, into)
+	case IsNull:
+		collectAggs(x.X, into)
+	case In:
+		collectAggs(x.X, into)
+		for _, i := range x.List {
+			collectAggs(i, into)
+		}
+	}
+}
+
+// execGrouped handles SELECTs with GROUP BY and/or aggregates.
+func (db *Database) execGrouped(s SelectStmt, sources []sourceInfo, rowsIn []sourceRow) (*Result, error) {
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("relational: SELECT * cannot be combined with aggregation")
+		}
+	}
+	// Register every aggregate appearing in items or HAVING.
+	aggSpecs := map[string]Agg{}
+	for _, it := range s.Items {
+		collectAggs(it.Expr, aggSpecs)
+	}
+	if s.Having != nil {
+		collectAggs(s.Having, aggSpecs)
+	}
+	for _, ob := range s.OrderBy {
+		collectAggs(ob.Expr, aggSpecs)
+	}
+
+	type group struct {
+		env  *groupEnv
+		keys []Value
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+
+	keyOf := func(sr sourceRow) (string, []Value, error) {
+		keys := make([]Value, len(s.GroupBy))
+		var b strings.Builder
+		for i, ge := range s.GroupBy {
+			v, err := ge.Eval(sr.env)
+			if err != nil {
+				return "", nil, err
+			}
+			keys[i] = v
+			b.WriteString(v.key())
+			b.WriteByte('\x00')
+		}
+		return b.String(), keys, nil
+	}
+
+	for _, sr := range rowsIn {
+		k, keys, err := keyOf(sr)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{env: &groupEnv{first: sr.env, aggs: map[string]*aggState{}}, keys: keys}
+			for name, spec := range aggSpecs {
+				g.env.aggs[name] = newAggState(spec.Fn)
+			}
+			groups[k] = g
+			orderKeys = append(orderKeys, k)
+		}
+		for name, spec := range aggSpecs {
+			st := g.env.aggs[name]
+			if spec.Star {
+				st.count++
+				continue
+			}
+			v, err := spec.Arg.Eval(sr.env)
+			if err != nil {
+				return nil, err
+			}
+			if err := st.add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// With no GROUP BY but aggregates present, there is exactly one group,
+	// even over zero input rows.
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{env: &groupEnv{first: &joinedEnv{
+			qualified: map[string]Value{},
+			bare:      map[string]Value{},
+			ambiguous: map[string]bool{},
+		}, aggs: map[string]*aggState{}}}
+		for name, spec := range aggSpecs {
+			g.env.aggs[name] = newAggState(spec.Fn)
+		}
+		groups[""] = g
+		orderKeys = append(orderKeys, "")
+	}
+
+	// Output columns.
+	cols := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		if it.Alias != "" {
+			cols[i] = it.Alias
+		} else if cr, ok := it.Expr.(ColRef); ok {
+			name := cr.Name
+			if dot := strings.LastIndex(name, "."); dot >= 0 {
+				name = name[dot+1:]
+			}
+			cols[i] = name
+		} else {
+			cols[i] = strings.ToLower(it.Expr.String())
+		}
+	}
+
+	res := &Result{Columns: cols}
+	type keyedRow struct {
+		row  []Value
+		keys []Value
+	}
+	var keyed []keyedRow
+	for _, k := range orderKeys {
+		g := groups[k]
+		if s.Having != nil {
+			v, err := evalGrouped(s.Having, g.env)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		row := make([]Value, len(s.Items))
+		for i, it := range s.Items {
+			v, err := evalGrouped(it.Expr, g.env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		// Evaluate ORDER BY keys group-aware (aggregates allowed), falling
+		// back to output-column aliases.
+		kr := keyedRow{row: row}
+		for _, ob := range s.OrderBy {
+			v, err := evalGrouped(ob.Expr, g.env)
+			if err != nil {
+				alias := MapEnv{}
+				for ci, cn := range cols {
+					alias[cn] = row[ci]
+				}
+				v2, err2 := ob.Expr.Eval(alias)
+				if err2 != nil {
+					return nil, err
+				}
+				v = v2
+			}
+			kr.keys = append(kr.keys, v)
+		}
+		keyed = append(keyed, kr)
+	}
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(keyed, func(a, b int) bool {
+			for ki, ob := range s.OrderBy {
+				va, vb := keyed[a].keys[ki], keyed[b].keys[ki]
+				if va.IsNull() || vb.IsNull() {
+					if va.IsNull() && vb.IsNull() {
+						continue
+					}
+					return va.IsNull() != ob.Desc
+				}
+				c, err := Compare(va, vb)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	for _, kr := range keyed {
+		res.Rows = append(res.Rows, kr.row)
+	}
+	if s.Distinct {
+		res.Rows, _ = dedupeRows(res.Rows, nil)
+	}
+	// Ordering already applied; strip it before the shared offset/limit.
+	s.OrderBy = nil
+	if err := orderAndLimit(res, s, sources, nil, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,387 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Env resolves column references during expression evaluation. Names may be
+// qualified ("t.col") or bare ("col"); bare names must be unambiguous.
+type Env interface {
+	Col(name string) (Value, error)
+}
+
+// MapEnv is a simple Env over a map; keys should be lower-case.
+type MapEnv map[string]Value
+
+// Col implements Env.
+func (m MapEnv) Col(name string) (Value, error) {
+	if v, ok := m[strings.ToLower(name)]; ok {
+		return v, nil
+	}
+	return Null(), fmt.Errorf("relational: unknown column %q", name)
+}
+
+// Expr is a node of the expression AST.
+type Expr interface {
+	// Eval computes the expression's value in env.
+	Eval(env Env) (Value, error)
+	// String renders the expression in SQL-like syntax.
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Eval implements Expr.
+func (l Literal) Eval(Env) (Value, error) { return l.Val, nil }
+
+// String implements Expr.
+func (l Literal) String() string { return l.Val.String() }
+
+// ColRef references a column by (possibly qualified) name.
+type ColRef struct{ Name string }
+
+// Eval implements Expr.
+func (c ColRef) Eval(env Env) (Value, error) { return env.Col(c.Name) }
+
+// String implements Expr.
+func (c ColRef) String() string { return c.Name }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpLike
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpLike: "LIKE",
+}
+
+// String names the operator.
+func (op BinOp) String() string {
+	if n, ok := binOpNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// String implements Expr.
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Eval implements Expr. NULL operands propagate: any comparison or
+// arithmetic with NULL yields NULL; AND/OR use three-valued shortcuts.
+func (b Binary) Eval(env Env) (Value, error) {
+	switch b.Op {
+	case OpAnd, OpOr:
+		return b.evalLogic(env)
+	}
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c, err := Compare(l, r)
+		if err != nil {
+			return Null(), fmt.Errorf("%w in %s", err, b)
+		}
+		switch b.Op {
+		case OpEq:
+			return Bool(c == 0), nil
+		case OpNe:
+			return Bool(c != 0), nil
+		case OpLt:
+			return Bool(c < 0), nil
+		case OpLe:
+			return Bool(c <= 0), nil
+		case OpGt:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return evalArith(b.Op, l, r)
+	case OpLike:
+		ls, ok1 := l.AsText()
+		rs, ok2 := r.AsText()
+		if !ok1 || !ok2 {
+			return Null(), fmt.Errorf("relational: LIKE needs text operands in %s", b)
+		}
+		return Bool(likeMatch(ls, rs)), nil
+	default:
+		return Null(), fmt.Errorf("relational: unknown operator in %s", b)
+	}
+}
+
+func (b Binary) evalLogic(env Env) (Value, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	lb, lok := l.AsBool()
+	if !lok && !l.IsNull() {
+		return Null(), fmt.Errorf("relational: %s needs boolean operands in %s", b.Op, b)
+	}
+	// Short circuits.
+	if lok {
+		if b.Op == OpAnd && !lb {
+			return Bool(false), nil
+		}
+		if b.Op == OpOr && lb {
+			return Bool(true), nil
+		}
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	rb, rok := r.AsBool()
+	if !rok && !r.IsNull() {
+		return Null(), fmt.Errorf("relational: %s needs boolean operands in %s", b.Op, b)
+	}
+	switch {
+	case lok && rok:
+		if b.Op == OpAnd {
+			return Bool(lb && rb), nil
+		}
+		return Bool(lb || rb), nil
+	case rok: // l is NULL
+		if b.Op == OpAnd && !rb {
+			return Bool(false), nil
+		}
+		if b.Op == OpOr && rb {
+			return Bool(true), nil
+		}
+	}
+	return Null(), nil
+}
+
+func evalArith(op BinOp, l, r Value) (Value, error) {
+	li, lInt := l.AsInt()
+	ri, rInt := r.AsInt()
+	if lInt && rInt {
+		switch op {
+		case OpAdd:
+			return Int(li + ri), nil
+		case OpSub:
+			return Int(li - ri), nil
+		case OpMul:
+			return Int(li * ri), nil
+		case OpDiv:
+			if ri == 0 {
+				return Null(), fmt.Errorf("relational: division by zero")
+			}
+			return Int(li / ri), nil
+		case OpMod:
+			if ri == 0 {
+				return Null(), fmt.Errorf("relational: modulo by zero")
+			}
+			return Int(li % ri), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return Null(), fmt.Errorf("relational: arithmetic needs numeric operands, got %s and %s", l.Kind(), r.Kind())
+	}
+	switch op {
+	case OpAdd:
+		return Float(lf + rf), nil
+	case OpSub:
+		return Float(lf - rf), nil
+	case OpMul:
+		return Float(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return Null(), fmt.Errorf("relational: division by zero")
+		}
+		return Float(lf / rf), nil
+	case OpMod:
+		return Null(), fmt.Errorf("relational: %% needs integer operands")
+	}
+	return Null(), fmt.Errorf("relational: bad arithmetic operator")
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
+// case-sensitive.
+func likeMatch(s, pattern string) bool {
+	return likeRec([]rune(s), []rune(pattern))
+}
+
+func likeRec(s, p []rune) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// Unary applies NOT or arithmetic negation.
+type Unary struct {
+	Neg bool // true: -x; false: NOT x
+	X   Expr
+}
+
+// String implements Expr.
+func (u Unary) String() string {
+	if u.Neg {
+		return fmt.Sprintf("(-%s)", u.X)
+	}
+	return fmt.Sprintf("(NOT %s)", u.X)
+}
+
+// Eval implements Expr.
+func (u Unary) Eval(env Env) (Value, error) {
+	v, err := u.X.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	if u.Neg {
+		if i, ok := v.AsInt(); ok {
+			return Int(-i), nil
+		}
+		if f, ok := v.AsFloat(); ok {
+			return Float(-f), nil
+		}
+		return Null(), fmt.Errorf("relational: cannot negate %s", v.Kind())
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return Null(), fmt.Errorf("relational: NOT needs a boolean, got %s", v.Kind())
+	}
+	return Bool(!b), nil
+}
+
+// IsNull tests x IS [NOT] NULL.
+type IsNull struct {
+	Not bool
+	X   Expr
+}
+
+// String implements Expr.
+func (n IsNull) String() string {
+	if n.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.X)
+}
+
+// Eval implements Expr.
+func (n IsNull) Eval(env Env) (Value, error) {
+	v, err := n.X.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	return Bool(v.IsNull() != n.Not), nil
+}
+
+// In tests membership of X in a literal list.
+type In struct {
+	Not  bool
+	X    Expr
+	List []Expr
+}
+
+// String implements Expr.
+func (in In) String() string {
+	items := make([]string, len(in.List))
+	for i, e := range in.List {
+		items[i] = e.String()
+	}
+	op := "IN"
+	if in.Not {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.X, op, strings.Join(items, ", "))
+}
+
+// Eval implements Expr.
+func (in In) Eval(env Env) (Value, error) {
+	x, err := in.X.Eval(env)
+	if err != nil {
+		return Null(), err
+	}
+	if x.IsNull() {
+		return Null(), nil
+	}
+	for _, e := range in.List {
+		v, err := e.Eval(env)
+		if err != nil {
+			return Null(), err
+		}
+		if Equal(x, v) {
+			return Bool(!in.Not), nil
+		}
+	}
+	return Bool(in.Not), nil
+}
+
+// Truthy evaluates e as a predicate: NULL and false are both false.
+func Truthy(e Expr, env Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	return ok && b, nil
+}

@@ -1,0 +1,967 @@
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt creates a table.
+type CreateTableStmt struct {
+	Name        string
+	Cols        []Column
+	IfNotExists bool
+}
+
+// DropTableStmt drops a table.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt inserts one or more rows.
+type InsertStmt struct {
+	Table string
+	Cols  []string // empty = schema order
+	Rows  [][]Expr
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is one table reference with an optional alias.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is an INNER JOIN with its ON condition.
+type JoinClause struct {
+	Right FromItem
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     FromItem
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+	Offset   int
+}
+
+// UpdateStmt updates rows.
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// DeleteStmt deletes rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (CreateTableStmt) stmt() {}
+func (DropTableStmt) stmt()   {}
+func (InsertStmt) stmt()      {}
+func (SelectStmt) stmt()      {}
+func (UpdateStmt) stmt()      {}
+func (DeleteStmt) stmt()      {}
+
+// AggFn enumerates aggregate functions.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AGG(%d)", int(f))
+	}
+}
+
+// InSubquery is `x [NOT] IN (SELECT …)` with an uncorrelated subquery. The
+// executor resolves the subquery into a literal list before row evaluation;
+// evaluating the raw node is an error.
+type InSubquery struct {
+	Not   bool
+	X     Expr
+	Query SelectStmt
+}
+
+// Eval implements Expr; unresolved subqueries cannot evaluate row-wise.
+func (q InSubquery) Eval(Env) (Value, error) {
+	return Null(), fmt.Errorf("relational: unresolved IN (SELECT …) subquery")
+}
+
+// String implements Expr.
+func (q InSubquery) String() string {
+	op := "IN"
+	if q.Not {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (SELECT …))", q.X, op)
+}
+
+// Agg is an aggregate call inside a SELECT item. It only evaluates inside
+// the executor's grouping machinery; Eval outside grouping is an error.
+type Agg struct {
+	Fn   AggFn
+	Star bool // COUNT(*)
+	Arg  Expr
+}
+
+// Eval implements Expr; aggregates cannot evaluate row-wise.
+func (a Agg) Eval(Env) (Value, error) {
+	return Null(), fmt.Errorf("relational: aggregate %s used outside grouping context", a)
+}
+
+// String implements Expr.
+func (a Agg) String() string {
+	if a.Star {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Fn, a.Arg)
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(sql string) (Statement, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting with %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text for punct /
+// keyword matching; text is compared case-insensitively for idents).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a matching token or errors.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errorf("expected %q, found %q", want, p.peek().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("relational: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes an identifier keyword (case-insensitive) or errors.
+func (p *parser) keyword(kw string) error {
+	if p.accept(tokIdent, kw) {
+		return nil
+	}
+	return p.errorf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokIdent, "create"):
+		return p.parseCreate()
+	case p.at(tokIdent, "drop"):
+		return p.parseDrop()
+	case p.at(tokIdent, "insert"):
+		return p.parseInsert()
+	case p.at(tokIdent, "select"):
+		return p.parseSelect()
+	case p.at(tokIdent, "update"):
+		return p.parseUpdate()
+	case p.at(tokIdent, "delete"):
+		return p.parseDelete()
+	default:
+		return nil, p.errorf("expected a statement, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	if err := p.keyword("table"); err != nil {
+		return nil, err
+	}
+	st := CreateTableStmt{}
+	if p.accept(tokIdent, "if") {
+		if err := p.keyword("not"); err != nil {
+			return nil, err
+		}
+		if err := p.keyword("exists"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name.text
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ct, err := ParseColType(typeName.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		col := Column{Name: colName.text, Type: ct}
+		for {
+			switch {
+			case p.accept(tokIdent, "primary"):
+				if err := p.keyword("key"); err != nil {
+					return nil, err
+				}
+				col.PrimaryKey = true
+			case p.accept(tokIdent, "not"):
+				if err := p.keyword("null"); err != nil {
+					return nil, err
+				}
+				col.NotNull = true
+			default:
+				goto colDone
+			}
+		}
+	colDone:
+		st.Cols = append(st.Cols, col)
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if err := p.keyword("table"); err != nil {
+		return nil, err
+	}
+	st := DropTableStmt{}
+	if p.accept(tokIdent, "if") {
+		if err := p.keyword("exists"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name.text
+	return st, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.keyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := InsertStmt{Table: name.text}
+	if p.accept(tokPunct, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col.text)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if err := p.keyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (Statement, error) {
+	p.next() // SELECT
+	st := SelectStmt{Limit: -1}
+	if p.accept(tokIdent, "distinct") {
+		st.Distinct = true
+	}
+	for {
+		if p.accept(tokPunct, "*") {
+			st.Items = append(st.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokIdent, "as") {
+				alias, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = strings.ToLower(alias.text)
+			}
+			st.Items = append(st.Items, item)
+		}
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	st.From = from
+	for p.accept(tokIdent, "join") || (p.at(tokIdent, "inner") && p.acceptInnerJoin()) {
+		right, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("on"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Joins = append(st.Joins, JoinClause{Right: right, On: on})
+	}
+	if p.accept(tokIdent, "where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.accept(tokIdent, "group") {
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokIdent, "having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.accept(tokIdent, "order") {
+		if err := p.keyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokIdent, "desc") {
+				item.Desc = true
+			} else {
+				p.accept(tokIdent, "asc")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokIdent, "limit") {
+		n, err := p.parseNonNegInt()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = n
+	}
+	if p.accept(tokIdent, "offset") {
+		n, err := p.parseNonNegInt()
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = n
+	}
+	return st, nil
+}
+
+// acceptInnerJoin consumes "INNER JOIN" after at() saw INNER.
+func (p *parser) acceptInnerJoin() bool {
+	save := p.i
+	p.next() // INNER
+	if p.accept(tokIdent, "join") {
+		return true
+	}
+	p.i = save
+	return false
+}
+
+func (p *parser) parseNonNegInt() (int, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errorf("expected a non-negative integer, found %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: strings.ToLower(name.text)}
+	if p.accept(tokIdent, "as") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = strings.ToLower(alias.text)
+	} else if p.at(tokIdent, "") && !p.atReserved() {
+		fi.Alias = strings.ToLower(p.next().text)
+	}
+	if fi.Alias == "" {
+		fi.Alias = fi.Table
+	}
+	return fi, nil
+}
+
+// atReserved reports whether the current identifier is a clause keyword that
+// must not be eaten as a table alias.
+func (p *parser) atReserved() bool {
+	for _, kw := range []string{"join", "inner", "on", "where", "group", "having", "order", "limit", "offset", "set", "values", "as"} {
+		if p.at(tokIdent, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := UpdateStmt{Table: strings.ToLower(name.text)}
+	if err := p.keyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, SetClause{Col: strings.ToLower(col.text), Expr: e})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.accept(tokIdent, "where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := DeleteStmt{Table: strings.ToLower(name.text)}
+	if p.accept(tokIdent, "where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// Expression grammar (highest binding last):
+//   expr     := andExpr (OR andExpr)*
+//   andExpr  := notExpr (AND notExpr)*
+//   notExpr  := NOT notExpr | predicate
+//   predicate:= additive ((=|!=|<|<=|>|>=|LIKE) additive
+//             | IS [NOT] NULL | [NOT] IN (list) | [NOT] BETWEEN a AND b)?
+//   additive := term ((+|-) term)*
+//   term     := unary ((*|/|%) unary)*
+//   unary    := - unary | primary
+//   primary  := literal | colref | agg | ( expr )
+
+// ParseExpr parses a standalone expression (for WHERE-style predicates
+// supplied programmatically).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting with %q", p.peek().text)
+	}
+	return e, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokIdent, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Neg: false, X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(tokPunct, "="), p.at(tokPunct, "!="), p.at(tokPunct, "<"),
+		p.at(tokPunct, "<="), p.at(tokPunct, ">"), p.at(tokPunct, ">="):
+		opTok := p.next().text
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch opTok {
+		case "=":
+			op = OpEq
+		case "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	case p.accept(tokIdent, "like"):
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: OpLike, L: l, R: r}, nil
+	case p.accept(tokIdent, "is"):
+		not := p.accept(tokIdent, "not")
+		if err := p.keyword("null"); err != nil {
+			return nil, err
+		}
+		return IsNull{Not: not, X: l}, nil
+	case p.at(tokIdent, "in"), p.at(tokIdent, "not"), p.at(tokIdent, "between"):
+		not := p.accept(tokIdent, "not")
+		switch {
+		case p.accept(tokIdent, "in"):
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			if p.at(tokIdent, "select") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				return InSubquery{Not: not, X: l, Query: sub.(SelectStmt)}, nil
+			}
+			var list []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if p.accept(tokPunct, ",") {
+					continue
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				break
+			}
+			return In{Not: not, X: l, List: list}, nil
+		case p.accept(tokIdent, "between"):
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.keyword("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			rng := Binary{Op: OpAnd,
+				L: Binary{Op: OpGe, L: l, R: lo},
+				R: Binary{Op: OpLe, L: l, R: hi}}
+			if not {
+				return Unary{X: rng}, nil
+			}
+			return rng, nil
+		case p.accept(tokIdent, "like"): // NOT LIKE
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Unary{X: Binary{Op: OpLike, L: l, R: r}}, nil
+		default:
+			return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "+"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: OpAdd, L: l, R: r}
+		case p.accept(tokPunct, "-"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: OpMul, L: l, R: r}
+		case p.accept(tokPunct, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: OpDiv, L: l, R: r}
+		case p.accept(tokPunct, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokPunct, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Neg: true, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]AggFn{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad float literal %q", t.text)
+			}
+			return Literal{Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.text)
+		}
+		return Literal{Int(n)}, nil
+	case tokString:
+		p.next()
+		return Literal{Text(t.text)}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		lower := strings.ToLower(t.text)
+		switch lower {
+		case "null":
+			p.next()
+			return Literal{Null()}, nil
+		case "true":
+			p.next()
+			return Literal{Bool(true)}, nil
+		case "false":
+			p.next()
+			return Literal{Bool(false)}, nil
+		}
+		if fn, isAgg := aggNames[lower]; isAgg && p.i+1 < len(p.toks) &&
+			p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+			p.next() // fn name
+			p.next() // (
+			if fn == AggCount && p.accept(tokPunct, "*") {
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+				return Agg{Fn: AggCount, Star: true}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return Agg{Fn: fn, Arg: arg}, nil
+		}
+		p.next()
+		name := strings.ToLower(t.text)
+		if p.accept(tokPunct, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Name: name + "." + strings.ToLower(col.text)}, nil
+		}
+		return ColRef{Name: name}, nil
+	}
+	return nil, p.errorf("expected an expression, found %q", t.text)
+}

@@ -1,0 +1,119 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func personSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{Name: "ID", Type: TypeInt, PrimaryKey: true},
+		{Name: "Name", Type: TypeText, NotNull: true},
+		{Name: "Weight", Type: TypeFloat},
+		{Name: "Active", Type: TypeBool},
+	})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := personSchema(t)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.ColumnIndex("WEIGHT"); !ok || i != 2 {
+		t.Errorf("ColumnIndex(WEIGHT) = %d, %v", i, ok)
+	}
+	if _, ok := s.ColumnIndex("missing"); ok {
+		t.Error("missing column should not resolve")
+	}
+	if s.PrimaryKey() != 0 {
+		t.Errorf("PrimaryKey = %d", s.PrimaryKey())
+	}
+	if !s.Column(0).NotNull {
+		t.Error("primary key must be implicitly NOT NULL")
+	}
+	if s.Column(1).Name != "name" {
+		t.Error("column names must be canonicalized to lower case")
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(nil); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := NewSchema([]Column{{Name: "", Type: TypeInt}}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewSchema([]Column{{Name: "a", Type: TypeInt}, {Name: "A", Type: TypeText}}); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	if _, err := NewSchema([]Column{
+		{Name: "a", Type: TypeInt, PrimaryKey: true},
+		{Name: "b", Type: TypeInt, PrimaryKey: true},
+	}); err == nil {
+		t.Error("two primary keys should fail")
+	}
+}
+
+func TestCheckRow(t *testing.T) {
+	s := personSchema(t)
+	row, err := s.CheckRow(Row{Int(1), Text("alice"), Int(70), Bool(true)})
+	if err != nil {
+		t.Fatalf("CheckRow: %v", err)
+	}
+	// Int widened to float for the FLOAT column.
+	if row[2].Kind() != KindFloat {
+		t.Errorf("weight kind = %s, want float", row[2].Kind())
+	}
+	// NULL allowed in nullable columns.
+	if _, err := s.CheckRow(Row{Int(2), Text("bob"), Null(), Null()}); err != nil {
+		t.Errorf("nullable NULLs rejected: %v", err)
+	}
+	// Arity mismatch.
+	if _, err := s.CheckRow(Row{Int(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+	// NOT NULL violation.
+	if _, err := s.CheckRow(Row{Int(1), Null(), Null(), Null()}); err == nil {
+		t.Error("NULL in NOT NULL column should fail")
+	}
+	// Type mismatch.
+	if _, err := s.CheckRow(Row{Text("x"), Text("y"), Null(), Null()}); err == nil {
+		t.Error("text in INT column should fail")
+	}
+	if _, err := s.CheckRow(Row{Int(1), Text("y"), Text("heavy"), Null()}); err == nil {
+		t.Error("text in FLOAT column should fail")
+	}
+}
+
+func TestParseColType(t *testing.T) {
+	ok := map[string]ColType{
+		"int": TypeInt, "INTEGER": TypeInt, "bigint": TypeInt,
+		"float": TypeFloat, "REAL": TypeFloat, "double": TypeFloat,
+		"text": TypeText, "VARCHAR": TypeText, "string": TypeText, "char": TypeText,
+		"bool": TypeBool, "BOOLEAN": TypeBool,
+	}
+	for in, want := range ok {
+		got, err := ParseColType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseColType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseColType("blob"); err == nil {
+		t.Error("unknown type should fail")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := personSchema(t)
+	str := s.String()
+	for _, want := range []string{"id INT PRIMARY KEY", "name TEXT NOT NULL", "weight FLOAT", "active BOOL"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package relational
+
+// Snapshot support: deep, independent copies of tables and databases. A
+// snapshot enables "what-if over data" — run destructive DML against a copy,
+// inspect the outcome, and either discard it or adopt it with Database.Swap.
+// This is deliberately not a transaction system: there is no isolation
+// between writers of the *same* database, only full-copy semantics.
+
+// Clone returns a deep copy of the table: rows, ordering, primary-key index
+// and all secondary indexes. The copy shares nothing with the original.
+func (t *Table) Clone() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cp := &Table{
+		name:    t.name,
+		schema:  t.schema, // schemas are immutable after construction
+		rows:    make(map[RowID]Row, len(t.rows)),
+		order:   append([]RowID(nil), t.order...),
+		nextID:  t.nextID,
+		indexes: make(map[int]map[string][]RowID, len(t.indexes)),
+	}
+	for id, row := range t.rows {
+		cp.rows[id] = row.clone()
+	}
+	if t.pkIndex != nil {
+		cp.pkIndex = make(map[string]RowID, len(t.pkIndex))
+		for k, v := range t.pkIndex {
+			cp.pkIndex[k] = v
+		}
+	}
+	for col, idx := range t.indexes {
+		nidx := make(map[string][]RowID, len(idx))
+		for k, ids := range idx {
+			nidx[k] = append([]RowID(nil), ids...)
+		}
+		cp.indexes[col] = nidx
+	}
+	return cp
+}
+
+// Snapshot returns a deep copy of the whole database.
+func (db *Database) Snapshot() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cp := NewDatabase()
+	for name, t := range db.tables {
+		cp.tables[name] = t.Clone()
+	}
+	return cp
+}
+
+// Swap replaces this database's catalog with the other's tables (typically a
+// mutated snapshot being adopted). The other database should not be used
+// afterwards.
+func (db *Database) Swap(other *Database) {
+	other.mu.Lock()
+	tables := other.tables
+	other.tables = make(map[string]*Table)
+	other.mu.Unlock()
+
+	db.mu.Lock()
+	db.tables = tables
+	db.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package relational
+
+import "testing"
+
+func TestTableClone(t *testing.T) {
+	tab := newPersonTable(t)
+	if err := tab.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := tab.Insert(Row{Int(1), Text("alice"), Float(60), Bool(true)})
+	tab.Insert(Row{Int(2), Text("bob"), Null(), Null()})
+
+	cp := tab.Clone()
+	// Mutations on the clone do not reach the original.
+	cp.Delete(id)
+	cp.Insert(Row{Int(3), Text("carol"), Null(), Null()})
+	if tab.Len() != 2 || cp.Len() != 2 {
+		t.Fatalf("len orig=%d clone=%d", tab.Len(), cp.Len())
+	}
+	if _, _, ok := tab.GetByPK(Int(1)); !ok {
+		t.Error("original lost a row")
+	}
+	if _, _, ok := cp.GetByPK(Int(1)); ok {
+		t.Error("clone should have deleted pk 1")
+	}
+	// Index copied and independent.
+	ids, err := cp.Lookup("name", Text("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("clone index stale: %v", ids)
+	}
+	ids, _ = tab.Lookup("name", Text("alice"))
+	if len(ids) != 1 {
+		t.Errorf("original index broken: %v", ids)
+	}
+	// Mutating a row fetched from the original must not affect the clone
+	// (deep row copy).
+	row, _ := tab.Get(id)
+	row[1] = Text("mutated")
+	tab.Update(id, row)
+	if _, r, ok := cp.GetByPK(Int(2)); !ok || r[1].Display() != "bob" {
+		t.Errorf("clone row affected: %v", r)
+	}
+}
+
+func TestDatabaseSnapshotWhatIf(t *testing.T) {
+	db := fixtureDB(t)
+
+	// What-if: delete all Edmonton patients — against a snapshot.
+	snap := db.Snapshot()
+	res, err := snap.Exec("DELETE FROM patients WHERE city = 'edmonton'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Fatalf("deleted %d", res.Affected)
+	}
+	// Live database unchanged.
+	q := db.MustExec("SELECT COUNT(*) FROM patients")
+	if n, _ := q.Rows[0][0].AsInt(); n != 5 {
+		t.Errorf("live count = %d", n)
+	}
+	// Snapshot changed.
+	q, _ = snap.Query("SELECT COUNT(*) FROM patients")
+	if n, _ := q.Rows[0][0].AsInt(); n != 3 {
+		t.Errorf("snapshot count = %d", n)
+	}
+
+	// Adopt the what-if.
+	db.Swap(snap)
+	q = db.MustExec("SELECT COUNT(*) FROM patients")
+	if n, _ := q.Rows[0][0].AsInt(); n != 3 {
+		t.Errorf("after swap count = %d", n)
+	}
+	// The visits table survived the swap (copied with the snapshot).
+	q = db.MustExec("SELECT COUNT(*) FROM visits")
+	if n, _ := q.Rows[0][0].AsInt(); n != 4 {
+		t.Errorf("visits after swap = %d", n)
+	}
+}
+
+func TestSnapshotIsolatedInserts(t *testing.T) {
+	db := fixtureDB(t)
+	snap := db.Snapshot()
+	// Same primary key inserted into both: no conflict across copies.
+	if _, err := db.Exec("INSERT INTO patients (id, name) VALUES (100, 'live')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Exec("INSERT INTO patients (id, name) VALUES (100, 'snap')"); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := db.Query("SELECT name FROM patients WHERE id = 100")
+	shadow, _ := snap.Query("SELECT name FROM patients WHERE id = 100")
+	if live.Rows[0][0].Display() != "live" || shadow.Rows[0][0].Display() != "snap" {
+		t.Errorf("copies not isolated: %v vs %v", live.Rows, shadow.Rows)
+	}
+}

@@ -1,0 +1,411 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureDB builds a small clinic database used across SQL tests.
+func fixtureDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	stmts := []string{
+		`CREATE TABLE patients (
+			id INT PRIMARY KEY,
+			name TEXT NOT NULL,
+			age INT,
+			weight FLOAT,
+			city TEXT
+		)`,
+		`CREATE TABLE visits (
+			id INT PRIMARY KEY,
+			patient_id INT NOT NULL,
+			reason TEXT
+		)`,
+		`INSERT INTO patients (id, name, age, weight, city) VALUES
+			(1, 'alice', 34, 61.5, 'calgary'),
+			(2, 'bob', 51, 92.0, 'calgary'),
+			(3, 'carol', 28, 55.0, 'edmonton'),
+			(4, 'dave', 45, NULL, 'calgary'),
+			(5, 'erin', 34, 70.5, 'edmonton')`,
+		`INSERT INTO visits (id, patient_id, reason) VALUES
+			(10, 1, 'checkup'),
+			(11, 1, 'flu'),
+			(12, 2, 'checkup'),
+			(13, 3, 'injury')`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("fixture %q: %v", s[:20], err)
+		}
+	}
+	return db
+}
+
+func TestSelectBasic(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT name, age FROM patients WHERE age > 30 ORDER BY age DESC, name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "name" {
+		t.Fatalf("Columns = %v", res.Columns)
+	}
+	got := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		got[i] = r[0].Display()
+	}
+	want := []string{"bob", "dave", "alice", "erin"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT * FROM patients WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Display() != "carol" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestSelectExpressionsAndAliases(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT name, weight / 2.2 AS weight_lbs_ish FROM patients WHERE weight IS NOT NULL ORDER BY name LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns[1] != "weight_lbs_ish" {
+		t.Errorf("alias column = %v", res.Columns)
+	}
+	f, _ := res.Rows[0][1].AsFloat()
+	if f < 27 || f > 29 {
+		t.Errorf("computed value = %v", f)
+	}
+}
+
+func TestSelectLimitOffset(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT id FROM patients ORDER BY id LIMIT 2 OFFSET 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	a, _ := res.Rows[0][0].AsInt()
+	b, _ := res.Rows[1][0].AsInt()
+	if a != 3 || b != 4 {
+		t.Errorf("got %d, %d", a, b)
+	}
+	// Offset past end.
+	res, err = db.Query("SELECT id FROM patients ORDER BY id OFFSET 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("offset past end = %v", res.Rows)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`
+		SELECT p.name, v.reason
+		FROM patients p JOIN visits v ON p.id = v.patient_id
+		WHERE p.city = 'calgary'
+		ORDER BY v.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Display() != "alice" || res.Rows[2][1].Display() != "checkup" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// INNER JOIN spelling.
+	res2, err := db.Query(`SELECT p.name FROM patients p INNER JOIN visits v ON p.id = v.patient_id ORDER BY v.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 4 {
+		t.Errorf("inner join rows = %d", len(res2.Rows))
+	}
+}
+
+func TestJoinAmbiguousColumn(t *testing.T) {
+	db := fixtureDB(t)
+	// "id" exists in both tables → bare reference must error.
+	_, err := db.Query(`SELECT id FROM patients p JOIN visits v ON p.id = v.patient_id`)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT COUNT(*), COUNT(weight), SUM(age), AVG(weight), MIN(age), MAX(age) FROM patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if n, _ := row[0].AsInt(); n != 5 {
+		t.Errorf("COUNT(*) = %v", row[0])
+	}
+	if n, _ := row[1].AsInt(); n != 4 { // dave's weight is NULL
+		t.Errorf("COUNT(weight) = %v", row[1])
+	}
+	if s, _ := row[2].AsInt(); s != 192 {
+		t.Errorf("SUM(age) = %v", row[2])
+	}
+	if avg, _ := row[3].AsFloat(); avg < 69.7 || avg > 69.8 {
+		t.Errorf("AVG(weight) = %v", row[3])
+	}
+	if mn, _ := row[4].AsInt(); mn != 28 {
+		t.Errorf("MIN(age) = %v", row[4])
+	}
+	if mx, _ := row[5].AsInt(); mx != 51 {
+		t.Errorf("MAX(age) = %v", row[5])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`
+		SELECT city, COUNT(*) AS n, AVG(age) AS mean_age
+		FROM patients
+		GROUP BY city
+		HAVING COUNT(*) >= 2
+		ORDER BY city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Display() != "calgary" {
+		t.Errorf("first group = %v", res.Rows[0])
+	}
+	if n, _ := res.Rows[0][1].AsInt(); n != 3 {
+		t.Errorf("calgary count = %v", res.Rows[0][1])
+	}
+	if n, _ := res.Rows[1][1].AsInt(); n != 2 {
+		t.Errorf("edmonton count = %v", res.Rows[1][1])
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT COUNT(*), SUM(age), MIN(age) FROM patients WHERE age > 999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 0 {
+		t.Errorf("COUNT over empty = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() || !res.Rows[0][2].IsNull() {
+		t.Errorf("SUM/MIN over empty should be NULL: %v", res.Rows[0])
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Exec("UPDATE patients SET age = age + 1 WHERE city = 'calgary'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 3 {
+		t.Errorf("Affected = %d, want 3", res.Affected)
+	}
+	q, _ := db.Query("SELECT age FROM patients WHERE id = 1")
+	if a, _ := q.Rows[0][0].AsInt(); a != 35 {
+		t.Errorf("age after update = %d", a)
+	}
+
+	res, err = db.Exec("DELETE FROM patients WHERE city = 'edmonton'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Errorf("deleted = %d, want 2", res.Affected)
+	}
+	q, _ = db.Query("SELECT COUNT(*) FROM patients")
+	if n, _ := q.Rows[0][0].AsInt(); n != 3 {
+		t.Errorf("remaining = %d", n)
+	}
+}
+
+func TestInsertDefaultsAndMultiRow(t *testing.T) {
+	db := fixtureDB(t)
+	// Column subset: unnamed columns become NULL.
+	if _, err := db.Exec("INSERT INTO patients (id, name) VALUES (6, 'fred')"); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("SELECT age FROM patients WHERE id = 6")
+	if !q.Rows[0][0].IsNull() {
+		t.Errorf("unspecified column should be NULL: %v", q.Rows[0][0])
+	}
+	// Full-row insert without column list.
+	if _, err := db.Exec("INSERT INTO patients VALUES (7, 'gina', 20, 58.0, 'calgary')"); err != nil {
+		t.Fatal(err)
+	}
+	// Arity mismatch.
+	if _, err := db.Exec("INSERT INTO patients (id, name) VALUES (8)"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// Unknown column.
+	if _, err := db.Exec("INSERT INTO patients (id, nope) VALUES (9, 1)"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestDDL(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.Exec("CREATE TABLE t (a INT PRIMARY KEY, b TEXT NOT NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := db.Exec("CREATE TABLE IF NOT EXISTS t (a INT)"); err != nil {
+		t.Errorf("IF NOT EXISTS should succeed: %v", err)
+	}
+	if _, err := db.Exec("DROP TABLE t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DROP TABLE t"); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS t"); err != nil {
+		t.Errorf("IF EXISTS should succeed: %v", err)
+	}
+	names := db.TableNames()
+	if len(names) != 0 {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := fixtureDB(t)
+	bad := []string{
+		"",
+		"SELEC * FROM patients",
+		"SELECT FROM patients",
+		"SELECT * FROM",
+		"SELECT * FROM patients WHERE",
+		"SELECT * FROM patients LIMIT -1",
+		"INSERT INTO patients",
+		"CREATE TABLE x (a BLOB)",
+		"SELECT * FROM patients; SELECT 1",
+		"SELECT 'unterminated FROM patients",
+		"SELECT * FROM patients WHERE a ~ 1",
+		"UPDATE patients",
+		"DELETE patients",
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s); err == nil {
+			t.Errorf("%q should fail to parse/execute", s)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := fixtureDB(t)
+	bad := []string{
+		"SELECT * FROM nope",
+		"SELECT nope FROM patients",
+		"UPDATE nope SET a = 1",
+		"UPDATE patients SET nope = 1",
+		"DELETE FROM nope",
+		"INSERT INTO nope VALUES (1)",
+		"SELECT * FROM patients JOIN nope ON 1 = 1",
+		"SELECT *, COUNT(*) FROM patients",
+	}
+	for _, s := range bad {
+		if _, err := db.Exec(s); err == nil {
+			t.Errorf("%q should fail", s)
+		}
+	}
+	if _, err := db.Query("UPDATE patients SET age = 1"); err == nil {
+		t.Error("Query must reject non-SELECT")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	db := NewDatabase()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec should panic on error")
+		}
+	}()
+	db.MustExec("SELECT * FROM missing")
+}
+
+func TestQualifiedColumnsSingleTable(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT patients.name FROM patients WHERE patients.id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Display() != "bob" {
+		t.Errorf("row = %v", res.Rows)
+	}
+	// Alias-qualified.
+	res, err = db.Query("SELECT p.name FROM patients AS p WHERE p.id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Display() != "bob" {
+		t.Errorf("row = %v", res.Rows)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT city, COUNT(*) AS n FROM patients GROUP BY city ORDER BY n DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Display() != "calgary" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := fixtureDB(t)
+	// Group by a computed decade.
+	res, err := db.Query("SELECT age / 10 AS decade, COUNT(*) AS n FROM patients GROUP BY age / 10 ORDER BY decade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // decades 2,3,4,5
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if d, _ := res.Rows[1][0].AsInt(); d != 3 {
+		t.Errorf("second decade = %v", res.Rows[1])
+	}
+	if n, _ := res.Rows[1][1].AsInt(); n != 2 { // alice 34, erin 34
+		t.Errorf("decade-3 count = %v", res.Rows[1][1])
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query("SELECT id -- trailing comment\nFROM patients -- another\nWHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}

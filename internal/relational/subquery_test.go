@@ -1,0 +1,106 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInSubquerySelect(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`
+		SELECT name FROM patients
+		WHERE id IN (SELECT patient_id FROM visits WHERE reason = 'checkup')
+		ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Display() != "alice" || res.Rows[1][0].Display() != "bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestNotInSubquery(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`
+		SELECT name FROM patients
+		WHERE id NOT IN (SELECT patient_id FROM visits)
+		ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dave and erin never visited.
+	if len(res.Rows) != 2 || res.Rows[0][0].Display() != "dave" || res.Rows[1][0].Display() != "erin" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInSubqueryEmptyResult(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Query(`SELECT name FROM patients WHERE id IN (SELECT patient_id FROM visits WHERE reason = 'nothing')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInSubqueryInUpdateAndDelete(t *testing.T) {
+	db := fixtureDB(t)
+	res, err := db.Exec(`UPDATE patients SET age = age + 100 WHERE id IN (SELECT patient_id FROM visits WHERE reason = 'flu')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("updated %d", res.Affected)
+	}
+	q, _ := db.Query("SELECT age FROM patients WHERE id = 1")
+	if a, _ := q.Rows[0][0].AsInt(); a != 134 {
+		t.Errorf("age = %d", a)
+	}
+
+	res, err = db.Exec(`DELETE FROM patients WHERE id NOT IN (SELECT patient_id FROM visits)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 2 {
+		t.Errorf("deleted %d", res.Affected)
+	}
+}
+
+func TestInSubqueryNestedAndAggregated(t *testing.T) {
+	db := fixtureDB(t)
+	// Subquery with its own aggregation: patients from the busiest city.
+	res, err := db.Query(`
+		SELECT name FROM patients
+		WHERE city IN (
+			SELECT city FROM patients GROUP BY city ORDER BY COUNT(*) DESC LIMIT 1
+		)
+		ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // calgary has 3 patients
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInSubqueryErrors(t *testing.T) {
+	db := fixtureDB(t)
+	// Multi-column subquery.
+	if _, err := db.Query(`SELECT name FROM patients WHERE id IN (SELECT id, name FROM patients)`); err == nil ||
+		!strings.Contains(err.Error(), "exactly one column") {
+		t.Errorf("multi-column subquery error = %v", err)
+	}
+	// Subquery against a missing table.
+	if _, err := db.Query(`SELECT name FROM patients WHERE id IN (SELECT x FROM nope)`); err == nil {
+		t.Error("missing subquery table should fail")
+	}
+	// Unterminated subquery.
+	if _, err := db.Query(`SELECT name FROM patients WHERE id IN (SELECT id FROM visits`); err == nil {
+		t.Error("unterminated subquery should fail")
+	}
+}

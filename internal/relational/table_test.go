@@ -1,0 +1,257 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newPersonTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("people", personSchema(t))
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tab
+}
+
+func TestTableInsertGet(t *testing.T) {
+	tab := newPersonTable(t)
+	id, err := tab.Insert(Row{Int(1), Text("alice"), Float(60), Bool(true)})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	row, ok := tab.Get(id)
+	if !ok || row[1].Display() != "alice" {
+		t.Fatalf("Get = %v, %v", row, ok)
+	}
+	// Returned row is a copy.
+	row[1] = Text("mutated")
+	row2, _ := tab.Get(id)
+	if row2[1].Display() != "alice" {
+		t.Error("Get must return a copy")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestPrimaryKeyConstraint(t *testing.T) {
+	tab := newPersonTable(t)
+	if _, err := tab.Insert(Row{Int(1), Text("a"), Null(), Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{Int(1), Text("b"), Null(), Null()}); err == nil {
+		t.Error("duplicate pk should fail")
+	}
+	id, row, ok := tab.GetByPK(Int(1))
+	if !ok || row[1].Display() != "a" {
+		t.Fatalf("GetByPK = %v, %v, %v", id, row, ok)
+	}
+	if _, _, ok := tab.GetByPK(Int(99)); ok {
+		t.Error("missing pk should not resolve")
+	}
+}
+
+func TestScanOrderAndDelete(t *testing.T) {
+	tab := newPersonTable(t)
+	var ids []RowID
+	for i := 0; i < 5; i++ {
+		id, err := tab.Insert(Row{Int(int64(i)), Text(fmt.Sprintf("p%d", i)), Null(), Null()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if !tab.Delete(ids[2]) {
+		t.Fatal("Delete failed")
+	}
+	if tab.Delete(ids[2]) {
+		t.Error("double delete should be a no-op returning false")
+	}
+	var seen []int64
+	tab.Scan(func(_ RowID, row Row) bool {
+		v, _ := row[0].AsInt()
+		seen = append(seen, v)
+		return true
+	})
+	want := []int64{0, 1, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("Scan saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Scan order %v, want %v", seen, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	tab.Scan(func(RowID, Row) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("Scan early stop visited %d", count)
+	}
+}
+
+func TestUpdateMaintainsPKIndex(t *testing.T) {
+	tab := newPersonTable(t)
+	id, _ := tab.Insert(Row{Int(1), Text("a"), Null(), Null()})
+	tab.Insert(Row{Int(2), Text("b"), Null(), Null()})
+
+	// Move pk 1 → 3.
+	if err := tab.Update(id, Row{Int(3), Text("a"), Null(), Null()}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if _, _, ok := tab.GetByPK(Int(1)); ok {
+		t.Error("old pk should be gone")
+	}
+	if _, _, ok := tab.GetByPK(Int(3)); !ok {
+		t.Error("new pk should resolve")
+	}
+	// Collision with existing pk 2.
+	if err := tab.Update(id, Row{Int(2), Text("a"), Null(), Null()}); err == nil {
+		t.Error("pk collision on update should fail")
+	}
+	// Update of a missing row.
+	if err := tab.Update(RowID(999), Row{Int(9), Text("x"), Null(), Null()}); err == nil {
+		t.Error("updating missing row should fail")
+	}
+	// Invalid row.
+	if err := tab.Update(id, Row{Int(3), Null(), Null(), Null()}); err == nil {
+		t.Error("NOT NULL violation on update should fail")
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	tab := newPersonTable(t)
+	for i := 0; i < 10; i++ {
+		name := "odd"
+		if i%2 == 0 {
+			name = "even"
+		}
+		if _, err := tab.Insert(Row{Int(int64(i)), Text(name), Null(), Null()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.HasIndex("name") {
+		t.Error("no index yet")
+	}
+	if err := tab.CreateIndex("name"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if !tab.HasIndex("name") {
+		t.Error("index should exist")
+	}
+	if !tab.HasIndex("id") {
+		t.Error("pk column counts as indexed")
+	}
+	if err := tab.CreateIndex("nope"); err == nil {
+		t.Error("indexing a missing column should fail")
+	}
+
+	ids, err := tab.Lookup("name", Text("even"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 {
+		t.Fatalf("Lookup(even) = %v", ids)
+	}
+	// Index maintained across insert/update/delete.
+	nid, _ := tab.Insert(Row{Int(100), Text("even"), Null(), Null()})
+	ids, _ = tab.Lookup("name", Text("even"))
+	if len(ids) != 6 {
+		t.Fatalf("after insert Lookup(even) = %v", ids)
+	}
+	row, _ := tab.Get(nid)
+	row[1] = Text("odd")
+	if err := tab.Update(nid, row); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = tab.Lookup("name", Text("even"))
+	if len(ids) != 5 {
+		t.Fatalf("after update Lookup(even) = %v", ids)
+	}
+	tab.Delete(nid)
+	ids, _ = tab.Lookup("name", Text("odd"))
+	if len(ids) != 5 {
+		t.Fatalf("after delete Lookup(odd) = %v", ids)
+	}
+	// Lookup without index scans.
+	ids, err = tab.Lookup("weight", Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		// NULL equals nothing under Equal semantics.
+		t.Errorf("Lookup(NULL) = %v, want none", ids)
+	}
+	if _, err := tab.Lookup("missing", Int(1)); err == nil {
+		t.Error("Lookup on missing column should fail")
+	}
+	// PK lookup path.
+	ids, _ = tab.Lookup("id", Int(3))
+	if len(ids) != 1 {
+		t.Errorf("pk Lookup = %v", ids)
+	}
+	ids, _ = tab.Lookup("id", Int(999))
+	if len(ids) != 0 {
+		t.Errorf("missing pk Lookup = %v", ids)
+	}
+}
+
+func TestDeleteCompaction(t *testing.T) {
+	tab := newPersonTable(t)
+	var ids []RowID
+	for i := 0; i < 100; i++ {
+		id, _ := tab.Insert(Row{Int(int64(i)), Text("x"), Null(), Null()})
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:90] {
+		tab.Delete(id)
+	}
+	if tab.Len() != 10 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	var count int
+	tab.Scan(func(RowID, Row) bool { count++; return true })
+	if count != 10 {
+		t.Errorf("Scan after compaction saw %d rows", count)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tab := newPersonTable(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := int64(g*1000 + i)
+				if _, err := tab.Insert(Row{Int(id), Text("w"), Null(), Null()}); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tab.Scan(func(RowID, Row) bool { return true })
+		}
+	}()
+	wg.Wait()
+	if tab.Len() != 400 {
+		t.Errorf("Len = %d, want 400", tab.Len())
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable("", personSchema(t)); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewTable("x", nil); err == nil {
+		t.Error("nil schema should fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Package stats provides the estimation utilities the model's empirical
+// programme needs: relative-frequency proportions with confidence intervals
+// (the τ(A)/τ estimators of Defs. 2 and 5), empirical CDFs (the Sec. 10
+// default-distribution construction), and summary statistics / histograms
+// for reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Proportion is a relative-frequency estimate τ(A)/τ with a Wilson score
+// interval.
+type Proportion struct {
+	Hits   int
+	Trials int
+	P      float64
+	Lo, Hi float64 // Wilson interval bounds at the requested confidence
+}
+
+// NewProportion computes the estimate and its Wilson interval. z is the
+// normal quantile for the desired confidence (1.96 ≈ 95%). Zero trials
+// yield a degenerate [0, 1] interval.
+func NewProportion(hits, trials int, z float64) Proportion {
+	p := Proportion{Hits: hits, Trials: trials, Lo: 0, Hi: 1}
+	if trials <= 0 {
+		return p
+	}
+	p.P = float64(hits) / float64(trials)
+	n := float64(trials)
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p.P + z2/(2*n)) / denom
+	half := z * math.Sqrt(p.P*(1-p.P)/n+z2/(4*n*n)) / denom
+	p.Lo = math.Max(0, center-half)
+	p.Hi = math.Min(1, center+half)
+	return p
+}
+
+// String renders "p [lo, hi] (hits/trials)".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (%d/%d)", p.P, p.Lo, p.Hi, p.Hits, p.Trials)
+}
+
+// ECDF is an empirical cumulative distribution function over observed
+// values — the construction Sec. 10 proposes for the number of defaults as
+// the house widens its policy.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the observations.
+func NewECDF(obs []float64) *ECDF {
+	s := make([]float64, len(obs))
+	copy(s, obs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of observations.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns F(x) = fraction of observations ≤ x; 0 for an empty ECDF.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q'th quantile (0 ≤ q ≤ 1) by the nearest-rank rule;
+// NaN for an empty ECDF.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return e.sorted[rank]
+}
+
+// Summary holds standard descriptive statistics.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	Q1, Q3    float64
+}
+
+// Summarize computes a Summary; the zero Summary is returned for no data.
+func Summarize(obs []float64) Summary {
+	if len(obs) == 0 {
+		return Summary{}
+	}
+	e := NewECDF(obs)
+	var sum, sumSq float64
+	for _, v := range obs {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(obs))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(obs),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    e.sorted[0],
+		Max:    e.sorted[len(e.sorted)-1],
+		Median: e.Quantile(0.5),
+		Q1:     e.Quantile(0.25),
+		Q3:     e.Quantile(0.75),
+	}
+}
+
+// Histogram bins observations into nbins equal-width buckets over
+// [min, max]; values at max land in the last bin.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram. nbins must be positive; an empty
+// observation set yields all-zero counts over [0, 1].
+func NewHistogram(obs []float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, fmt.Errorf("stats: nbins %d must be positive", nbins)
+	}
+	h := &Histogram{Counts: make([]int, nbins), Min: 0, Max: 1}
+	if len(obs) == 0 {
+		return h, nil
+	}
+	h.Min, h.Max = obs[0], obs[0]
+	for _, v := range obs {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	width := (h.Max - h.Min) / float64(nbins)
+	for _, v := range obs {
+		var bin int
+		if width > 0 {
+			bin = int((v - h.Min) / width)
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		h.Counts[bin]++
+	}
+	return h, nil
+}
+
+// MaxCount returns the largest bin count (for scaling ASCII plots).
+func (h *Histogram) MaxCount() int {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProportion(t *testing.T) {
+	p := NewProportion(30, 100, 1.96)
+	if p.P != 0.3 {
+		t.Errorf("P = %g", p.P)
+	}
+	if p.Lo >= p.P || p.Hi <= p.P {
+		t.Errorf("interval [%g, %g] must bracket %g", p.Lo, p.Hi, p.P)
+	}
+	if p.Lo < 0 || p.Hi > 1 {
+		t.Errorf("interval out of [0,1]: [%g, %g]", p.Lo, p.Hi)
+	}
+	// Wider sample → tighter interval.
+	p2 := NewProportion(3000, 10000, 1.96)
+	if (p2.Hi - p2.Lo) >= (p.Hi - p.Lo) {
+		t.Error("more trials should shrink the interval")
+	}
+	// Degenerate cases.
+	z := NewProportion(0, 0, 1.96)
+	if z.P != 0 || z.Lo != 0 || z.Hi != 1 {
+		t.Errorf("zero-trials proportion = %+v", z)
+	}
+	all := NewProportion(10, 10, 1.96)
+	if all.P != 1 || all.Hi != 1 {
+		t.Errorf("all-hits proportion = %+v", all)
+	}
+	if !strings.Contains(NewProportion(1, 2, 1.96).String(), "1/2") {
+		t.Error("String should mention hits/trials")
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and stays
+// inside [0, 1].
+func TestWilsonIntervalProperty(t *testing.T) {
+	f := func(hitsRaw, trialsRaw uint16) bool {
+		trials := int(trialsRaw%1000) + 1
+		hits := int(hitsRaw) % (trials + 1)
+		p := NewProportion(hits, trials, 1.96)
+		return p.Lo >= 0 && p.Hi <= 1 && p.Lo <= p.P+1e-12 && p.Hi >= p.P-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2, 5})
+	if e.Len() != 5 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	cases := map[float64]float64{
+		0: 0, 1: 0.2, 1.5: 0.2, 2: 0.6, 3: 0.8, 5: 1, 10: 1,
+	}
+	for x, want := range cases {
+		if got := e.At(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("median = %g", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %g", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Errorf("Quantile(1) = %g", q)
+	}
+	empty := NewECDF(nil)
+	if empty.At(1) != 0 {
+		t.Error("empty ECDF At should be 0")
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty ECDF quantile should be NaN")
+	}
+	// Source slice is copied.
+	src := []float64{9, 1}
+	e2 := NewECDF(src)
+	src[0] = -100
+	if e2.Quantile(1) != 9 {
+		t.Error("ECDF must copy its input")
+	}
+}
+
+// Property: ECDF is monotone non-decreasing.
+func TestECDFMonotone(t *testing.T) {
+	f := func(obs []float64, a, b float64) bool {
+		for _, v := range obs {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e := NewECDF(obs)
+		if a > b {
+			a, b = b, a
+		}
+		return e.At(a) <= e.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("mean = %g (n=%d)", s.Mean, s.N)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Errorf("std = %g, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Median != 4 {
+		t.Errorf("min/max/median = %g/%g/%g", s.Min, s.Max, s.Median)
+	}
+	if s.Q1 != 4 || s.Q3 != 5 {
+		t.Errorf("quartiles = %g, %g", s.Q1, s.Q3)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	// Constant data: zero variance (no negative sqrt).
+	c := Summarize([]float64{3, 3, 3})
+	if c.Std != 0 {
+		t.Errorf("constant std = %g", c.Std)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d", total)
+	}
+	if h.Counts[4] == 0 {
+		t.Error("max value must land in the last bin")
+	}
+	if h.MaxCount() < 2 {
+		t.Errorf("MaxCount = %d", h.MaxCount())
+	}
+	if _, err := NewHistogram(nil, 0); err == nil {
+		t.Error("nbins = 0 should fail")
+	}
+	empty, err := NewHistogram(nil, 3)
+	if err != nil || empty.MaxCount() != 0 {
+		t.Errorf("empty histogram = %+v, %v", empty, err)
+	}
+	// All-equal observations: width 0, everything in bin 0.
+	same, _ := NewHistogram([]float64{5, 5, 5}, 4)
+	if same.Counts[0] != 3 {
+		t.Errorf("constant histogram = %v", same.Counts)
+	}
+}
