@@ -1,0 +1,242 @@
+// Package analysis is a small static-analysis framework over the standard
+// library's go/ast, go/parser and go/types — no external module
+// dependencies, matching the repo's zero-dep go.mod. It exists because the
+// reproduction's correctness rests on invariants the compiler cannot see:
+// mutex-guarded shared state in internal/ppdb and internal/relational,
+// ε-sensitive severity arithmetic in internal/core and internal/economics
+// (Eqs. 12-16 of the paper), and two hand-written parsers whose errors must
+// never be silently dropped. Each invariant gets a Checker; cmd/ppdblint
+// drives them all and gates `make check`.
+//
+// Deliberate exceptions are annotated in source with
+//
+//	//lint:ignore <checker>[,<checker>...] <reason>
+//
+// which suppresses findings of the named checkers (or "all") on the same
+// line and on the line directly below the comment. The reason is mandatory:
+// an exception without a rationale is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the checker that produced it and a
+// human-readable message. Output ordering is deterministic (file, line,
+// column, checker, message) so runs are diffable.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical `file:line: [checker] message` form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Checker, f.Message)
+}
+
+// Pass is the per-package view handed to a checker: syntax, type
+// information and a Report sink.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	report func(pos token.Pos, msg string)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of e, or nil when untracked.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Checker is one named invariant.
+type Checker struct {
+	// Name is the identifier used by -checker selection and lint:ignore.
+	Name string
+	// Doc is a one-line description for usage output.
+	Doc string
+	// Run inspects one package and reports findings.
+	Run func(*Pass)
+}
+
+// Checkers returns every registered checker in deterministic order.
+func Checkers() []*Checker {
+	return []*Checker{
+		enumswitchChecker(),
+		errflowChecker(),
+		floatcmpChecker(),
+		lockcheckChecker(),
+	}
+}
+
+// Select resolves a comma-separated checker-name list ("" means all).
+func Select(names string) ([]*Checker, error) {
+	all := Checkers()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Checker, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Checker
+	seen := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(all))
+			for _, k := range all {
+				known = append(known, k.Name)
+			}
+			return nil, fmt.Errorf("analysis: unknown checker %q (known: %s)", n, strings.Join(known, ", "))
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line     int
+	checkers map[string]bool // nil means "all"
+	bad      bool            // malformed (missing reason)
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// parseIgnores extracts lint:ignore directives from one file. Malformed
+// directives (no checker list or no reason) are returned with bad=true so
+// Analyze can surface them instead of silently not suppressing.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix)))
+			line := fset.Position(c.Pos()).Line
+			fields := strings.SplitN(rest, " ", 2)
+			if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+				out = append(out, ignoreDirective{line: line, bad: true})
+				continue
+			}
+			d := ignoreDirective{line: line}
+			if fields[0] != "all" {
+				d.checkers = map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					d.checkers[strings.TrimSpace(n)] = true
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses checker findings on line.
+func (d ignoreDirective) matches(checker string, line int) bool {
+	if d.bad {
+		return false
+	}
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	return d.checkers == nil || d.checkers[checker]
+}
+
+// Analyze runs the checkers over each package and returns the surviving
+// findings in deterministic order. Malformed lint:ignore directives are
+// reported under the pseudo-checker name "lintdirective".
+func Analyze(pkgs []*Package, checkers []*Checker) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			for _, d := range parseIgnores(pkg.Fset, f) {
+				if d.bad {
+					pos := pkg.Fset.Position(f.Pos())
+					raw = append(raw, Finding{
+						File:    pos.Filename,
+						Line:    d.line,
+						Col:     1,
+						Checker: "lintdirective",
+						Message: "malformed lint:ignore directive: want //lint:ignore <checker>[,<checker>] <reason>",
+					})
+					continue
+				}
+				ignores = append(ignores, d)
+			}
+		}
+		for _, c := range checkers {
+			name := c.Name
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+			}
+			pass.report = func(pos token.Pos, msg string) {
+				p := pkg.Fset.Position(pos)
+				raw = append(raw, Finding{
+					File:    p.Filename,
+					Line:    p.Line,
+					Col:     p.Column,
+					Checker: name,
+					Message: msg,
+				})
+			}
+			c.Run(pass)
+		}
+		for _, f := range raw {
+			suppressed := false
+			for _, d := range ignores {
+				if d.matches(f.Checker, f.Line) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// enumswitchChecker flags non-exhaustive switch statements over iota-style
+// enums (named integer types with at least two package-level constants,
+// e.g. privacy.Dimension, relational token kinds, DSL node kinds) when no
+// default case exists. A new enum member then fails `make check` at every
+// switch that silently ignores it instead of at runtime.
+func enumswitchChecker() *Checker {
+	return &Checker{
+		Name: "enumswitch",
+		Doc:  "flag non-exhaustive switches over iota enums that lack a default case",
+		Run:  runEnumswitch,
+	}
+}
+
+func runEnumswitch(pass *Pass) {
+	inspectAll(pass, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		named := enumTagType(pass.TypeOf(sw.Tag))
+		if named == nil {
+			return true
+		}
+		members := enumMembers(named)
+		if len(members) < 2 {
+			return true
+		}
+		covered := map[string]bool{}
+		for _, stmt := range sw.Body.List {
+			clause, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if clause.List == nil {
+				return true // default case: exhaustive by construction
+			}
+			for _, e := range clause.List {
+				tv, ok := pass.Info.Types[e]
+				if !ok || tv.Value == nil {
+					return true // non-constant case: cannot reason about coverage
+				}
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+		var missing []enumMember
+		for _, m := range members {
+			if !covered[m.val.ExactString()] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) == 0 {
+			return true
+		}
+		names := make([]string, len(missing))
+		for i, m := range missing {
+			names[i] = m.name
+		}
+		qual := relativeTo(pass.Pkg)
+		pass.Reportf(sw.Switch,
+			"switch on %s is not exhaustive: missing %s (add the missing cases or a default)",
+			types.TypeString(named, qual), strings.Join(names, ", "))
+		return true
+	})
+}
+
+// enumTagType returns the named type of a switch tag when it looks like an
+// enum carrier: a named (non-alias-only) type whose underlying type is an
+// integer.
+func enumTagType(t types.Type) *types.Named {
+	named := namedOf(t)
+	if named == nil {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 || b.Info()&types.IsBoolean != 0 {
+		return nil
+	}
+	return named
+}
+
+type enumMember struct {
+	name string
+	val  constant.Value
+}
+
+// enumMembers collects the package-level constants declared with exactly
+// the enum's type, sorted by value then name; constants sharing a value
+// count as one member for coverage.
+func enumMembers(named *types.Named) []enumMember {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []enumMember
+	scope := pkg.Scope()
+	seen := map[string]bool{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue // value aliases (e.g. a Max marker) count once
+		}
+		seen[key] = true
+		out = append(out, enumMember{name: name, val: c.Val()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, iok := constant.Int64Val(out[i].val)
+		vj, jok := constant.Int64Val(out[j].val)
+		if iok && jok && vi != vj {
+			return vi < vj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errflowChecker flags dropped error returns: calls used as bare
+// statements (including defer/go) whose error result vanishes, and
+// multi-assignments that send an error to the blank identifier. The
+// hand-written parsers (internal/policydsl, internal/relational) and the
+// ppdb persist/load paths signal corruption exclusively through errors, so
+// a dropped error there turns a hard failure into silent data loss.
+//
+// Conventionally ignorable sources are exempt, mirroring errcheck's
+// default exclusions: the fmt.Print/Fprint family (report renderers here
+// write tables to arbitrary io.Writers) and the always-nil write methods
+// of strings.Builder and bytes.Buffer.
+func errflowChecker() *Checker {
+	return &Checker{
+		Name: "errflow",
+		Doc:  "flag error returns that are discarded or assigned to _",
+		Run:  runErrflow,
+	}
+}
+
+func runErrflow(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+
+	// errIndexes returns the positions of error-typed results of call.
+	errIndexes := func(call *ast.CallExpr) []int {
+		t := pass.TypeOf(call)
+		if t == nil {
+			return nil
+		}
+		var out []int
+		switch r := t.(type) {
+		case *types.Tuple:
+			for i := 0; i < r.Len(); i++ {
+				if types.Identical(r.At(i).Type(), errType) {
+					out = append(out, i)
+				}
+			}
+		default:
+			if types.Identical(t, errType) {
+				out = append(out, 0)
+			}
+		}
+		return out
+	}
+
+	checkDiscarded := func(call *ast.CallExpr, how string) {
+		if len(errIndexes(call)) == 0 || errAllowed(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error result of %s is %s", types.ExprString(call.Fun), how)
+	}
+
+	inspectAll(pass, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(node.X).(*ast.CallExpr); ok {
+				checkDiscarded(call, "discarded")
+			}
+		case *ast.DeferStmt:
+			checkDiscarded(node.Call, "discarded (deferred call)")
+		case *ast.GoStmt:
+			checkDiscarded(node.Call, "discarded (goroutine)")
+		case *ast.AssignStmt:
+			if len(node.Rhs) != 1 {
+				return true
+			}
+			call, ok := unparen(node.Rhs[0]).(*ast.CallExpr)
+			if !ok || errAllowed(pass, call) {
+				return true
+			}
+			for _, i := range errIndexes(call) {
+				if i >= len(node.Lhs) {
+					continue
+				}
+				if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(id.Pos(), "error result of %s is assigned to _", types.ExprString(call.Fun))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// errAllowed reports whether call's error is conventionally ignorable:
+// printing to stdout/stderr or writing to an in-memory buffer.
+func errAllowed(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-qualified call: the fmt print family.
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return true
+			}
+			return false
+		}
+	}
+	// Methods on in-memory buffers never return non-nil errors.
+	if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if isNamedType(recv, "strings", "Builder") || isNamedType(recv, "bytes", "Buffer") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatcmpChecker flags exact floating-point equality: `==`/`!=` with a
+// float operand, and `switch` on a float tag. The severity and economics
+// math (Eqs. 12-16, 25-31 of the paper) accumulates float64 sums, so exact
+// equality silently depends on summation order; comparisons must go
+// through internal/analysis/floatutil (Eq/EqTol/Zero) or be annotated as
+// deliberate with //lint:ignore floatcmp <reason>.
+func floatcmpChecker() *Checker {
+	return &Checker{
+		Name: "floatcmp",
+		Doc:  "flag ==/!=/switch on floating-point operands; use floatutil.Eq or an explicit tolerance",
+		Run:  runFloatcmp,
+	}
+}
+
+func runFloatcmp(pass *Pass) {
+	inspectAll(pass, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			if node.Op != token.EQL && node.Op != token.NEQ {
+				return true
+			}
+			if isFloat(pass.TypeOf(node.X)) || isFloat(pass.TypeOf(node.Y)) {
+				pass.Reportf(node.OpPos,
+					"float comparison %s %s %s; use floatutil.Eq/floatutil.Zero (internal/analysis/floatutil) or an explicit tolerance",
+					types.ExprString(node.X), node.Op, types.ExprString(node.Y))
+			}
+		case *ast.SwitchStmt:
+			if node.Tag != nil && isFloat(pass.TypeOf(node.Tag)) {
+				pass.Reportf(node.Switch,
+					"switch on float expression %s compares exactly; use if/else with floatutil tolerances",
+					types.ExprString(node.Tag))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,50 @@
+// Package floatutil provides the epsilon comparisons the floatcmp checker
+// (internal/analysis, cmd/ppdblint) points to. The paper's severity sums
+// (Eqs. 14-16) and utility calculus (Eqs. 25-31) accumulate float64 terms
+// whose exact bit patterns depend on summation order, so code must never
+// compare them with == / != — use Eq, Zero or an explicit EqTol tolerance.
+package floatutil
+
+import "math"
+
+// Tolerance is the default comparison tolerance. Severity terms are
+// products of small integers and sensitivities in [0, 10], so 1e-9 sits
+// far below any meaningful difference while absorbing summation-order
+// noise.
+const Tolerance = 1e-9
+
+// Eq reports whether a and b are equal within Tolerance, absolutely or
+// relative to the larger magnitude. NaNs are never equal; equal infinities
+// are.
+func Eq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:ignore floatcmp exact equality is the fast path and the only way infinities compare equal
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		return false // opposite infinities, or inf vs finite
+	}
+	return diff <= Tolerance || diff <= Tolerance*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// EqTol reports |a−b| ≤ tol with an explicit absolute tolerance. NaNs are
+// never equal; equal infinities are.
+func EqTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //lint:ignore floatcmp exact equality is the fast path and the only way infinities compare equal
+		return true
+	}
+	diff := math.Abs(a - b)
+	return !math.IsInf(diff, 0) && diff <= tol
+}
+
+// Zero reports whether x is within Tolerance of zero.
+func Zero(x float64) bool { return math.Abs(x) <= Tolerance }
+
+// Less reports a < b beyond Tolerance (i.e. meaningfully less, not noise).
+func Less(a, b float64) bool { return b-a > Tolerance && !Eq(a, b) }

@@ -1,0 +1,60 @@
+package floatutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{0.1 + 0.2, 0.3, true}, // the classic summation-order case
+		{1, 1.001, false},
+		{0, 1e-8, false},
+		{1e12, 1e12 + 1, true}, // relative tolerance for large magnitudes
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero should accept values within tolerance")
+	}
+	if Zero(1e-3) || Zero(math.NaN()) {
+		t.Error("Zero should reject values beyond tolerance and NaN")
+	}
+}
+
+func TestLess(t *testing.T) {
+	if !Less(1, 2) {
+		t.Error("Less(1,2) should hold")
+	}
+	if Less(1, 1+1e-12) {
+		t.Error("Less must ignore sub-tolerance differences")
+	}
+	if Less(2, 1) {
+		t.Error("Less(2,1) must not hold")
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(10, 10.4, 0.5) {
+		t.Error("EqTol should accept within explicit tolerance")
+	}
+	if EqTol(10, 11, 0.5) {
+		t.Error("EqTol should reject beyond explicit tolerance")
+	}
+}
