@@ -891,6 +891,8 @@ var aggNames = map[string]AggFn{
 func (p *parser) parsePrimary() (Expr, error) {
 	t := p.peek()
 	switch t.kind {
+	case tokEOF:
+		return nil, p.errorf("expected an expression, found end of input")
 	case tokNumber:
 		p.next()
 		if strings.ContainsAny(t.text, ".eE") {
