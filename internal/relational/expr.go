@@ -97,8 +97,7 @@ func (b Binary) String() string {
 // Eval implements Expr. NULL operands propagate: any comparison or
 // arithmetic with NULL yields NULL; AND/OR use three-valued shortcuts.
 func (b Binary) Eval(env Env) (Value, error) {
-	switch b.Op {
-	case OpAnd, OpOr:
+	if b.Op == OpAnd || b.Op == OpOr {
 		return b.evalLogic(env)
 	}
 	l, err := b.L.Eval(env)
@@ -210,6 +209,8 @@ func evalArith(op BinOp, l, r Value) (Value, error) {
 				return Null(), fmt.Errorf("relational: modulo by zero")
 			}
 			return Int(li % ri), nil
+		default:
+			return Null(), fmt.Errorf("relational: bad arithmetic operator %s", op)
 		}
 	}
 	lf, lok := l.AsFloat()
@@ -225,14 +226,16 @@ func evalArith(op BinOp, l, r Value) (Value, error) {
 	case OpMul:
 		return Float(lf * rf), nil
 	case OpDiv:
+		//lint:ignore floatcmp SQL division is undefined only at exactly zero; a tolerance would reject tiny legitimate divisors
 		if rf == 0 {
 			return Null(), fmt.Errorf("relational: division by zero")
 		}
 		return Float(lf / rf), nil
 	case OpMod:
 		return Null(), fmt.Errorf("relational: %% needs integer operands")
+	default:
+		return Null(), fmt.Errorf("relational: bad arithmetic operator %s", op)
 	}
-	return Null(), fmt.Errorf("relational: bad arithmetic operator")
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any single rune),
