@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis/floatutil"
 	"repro/internal/core"
 	"repro/internal/privacy"
 )
@@ -52,10 +53,12 @@ func Fit(obs []Observation) (*Curve, error) {
 			return nil, fmt.Errorf("estimation: default fraction %g outside [0, 1]", o.DefaultFrac)
 		}
 	}
-	// Merge duplicate severities by averaging.
+	// Merge duplicate severities by averaging. Severities are Eq. 15 sums,
+	// so "duplicate" must tolerate summation-order noise or two providers
+	// with the same preferences would produce two isotonic knots.
 	var xs, ys, ws []float64
 	for _, o := range sorted {
-		if len(xs) > 0 && o.Severity == xs[len(xs)-1] {
+		if len(xs) > 0 && floatutil.Eq(o.Severity, xs[len(xs)-1]) {
 			n := ws[len(ws)-1]
 			ys[len(ys)-1] = (ys[len(ys)-1]*n + o.DefaultFrac) / (n + 1)
 			ws[len(ws)-1] = n + 1

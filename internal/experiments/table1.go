@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis/floatutil"
 	"repro/internal/core"
 	"repro/internal/privacy"
 )
@@ -144,9 +145,9 @@ func (r Table1Result) Fprint(w io.Writer) error {
 func (r Table1Result) Matches() bool {
 	for _, row := range r.Rows {
 		paper, ok := PaperTable1[row.Provider]
-		if !ok || row.Conf != paper.Conf || row.Wi != paper.Wi || row.Defaults != paper.Defaults {
+		if !ok || !floatutil.Eq(row.Conf, paper.Conf) || row.Wi != paper.Wi || row.Defaults != paper.Defaults {
 			return false
 		}
 	}
-	return r.TotalViolations == 140 && r.PDefault > 0.333 && r.PDefault < 0.334
+	return floatutil.Eq(r.TotalViolations, 140) && r.PDefault > 0.333 && r.PDefault < 0.334
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/analysis/floatutil"
 	"repro/internal/core"
 	"repro/internal/privacy"
 )
@@ -203,7 +204,7 @@ func (g *Game) OptimalIncentive(s HouseStrategy) (*Outcome, error) {
 			return nil, err
 		}
 		if best == nil || out.HousePayoff > best.HousePayoff ||
-			(out.HousePayoff == best.HousePayoff && out.Strategy.Incentive < best.Strategy.Incentive) {
+			(floatutil.Eq(out.HousePayoff, best.HousePayoff) && out.Strategy.Incentive < best.Strategy.Incentive) {
 			best = out
 		}
 	}
