@@ -292,6 +292,7 @@ func (a *Assessor) TopViolated(pop []*privacy.Prefs, k int) []ProviderReport {
 		reps = append(reps, a.AssessProvider(p))
 	}
 	sort.Slice(reps, func(i, j int) bool {
+		//lint:ignore floatcmp a sort comparator needs a strict weak order; a tolerance would make "equal" intransitive
 		if reps[i].Violation != reps[j].Violation {
 			return reps[i].Violation > reps[j].Violation
 		}

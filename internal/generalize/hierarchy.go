@@ -101,6 +101,7 @@ func formatRange(lo, hi float64) string {
 }
 
 func trimFloat(f float64) string {
+	//lint:ignore floatcmp rendering decision: only exactly-integral floats print without a fraction
 	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
 		return fmt.Sprintf("%d", int64(f))
 	}

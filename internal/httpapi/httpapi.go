@@ -69,6 +69,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//lint:ignore errflow the status line is already written; an encode failure here means the client hung up
 	_ = enc.Encode(v)
 }
 
@@ -159,6 +160,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		doc := &policydsl.Document{Policy: s.db.Policy(), Scales: privacy.DefaultScales()}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//lint:ignore errflow response write failures mean the client hung up; there is no recovery mid-body
 		_, _ = io.WriteString(w, policydsl.Render(doc))
 	case http.MethodPut:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))

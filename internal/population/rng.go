@@ -64,6 +64,7 @@ func (r *RNG) Range(lo, hi float64) float64 {
 // (Box-Muller; one value per call for simplicity).
 func (r *RNG) Norm(mean, stddev float64) float64 {
 	u1 := r.Float64()
+	//lint:ignore floatcmp Box-Muller only breaks at exactly zero (log 0); a tolerance would bias the tail
 	for u1 == 0 {
 		u1 = r.Float64()
 	}

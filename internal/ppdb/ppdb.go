@@ -166,6 +166,7 @@ func (d *DB) Advance(by time.Duration) (time.Time, error) {
 func (d *DB) Policy() *privacy.HousePolicy {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	//lint:ignore lockcheck HousePolicy is immutable by convention; SetPolicy swaps the pointer, never mutates in place
 	return d.policy
 }
 
