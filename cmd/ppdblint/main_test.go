@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path (relative to this test's cwd, cmd/ppdblint) of
+// one internal/analysis testdata package.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+}
+
+func TestRunFindingsExitCodeAndOutput(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-checker", "floatcmp", fixture("floatcmpdata")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(lines), out)
+	}
+	rel := filepath.ToSlash(filepath.Join(fixture("floatcmpdata"), "floatcmpdata.go"))
+	for _, line := range lines {
+		if !strings.HasPrefix(filepath.ToSlash(line), rel+":") {
+			t.Errorf("finding not relative to cwd: %q", line)
+		}
+		if !strings.Contains(line, "[floatcmp]") {
+			t.Errorf("finding missing checker tag: %q", line)
+		}
+	}
+	if !strings.Contains(out, "float comparison") || !strings.Contains(out, "switch on float") {
+		t.Errorf("output missing expected messages:\n%s", out)
+	}
+	if !sortedByLine(lines) {
+		t.Errorf("output lines not in ascending line order:\n%s", out)
+	}
+}
+
+// TestRunDeterministic runs the same invocation twice and requires
+// byte-identical output.
+func TestRunDeterministic(t *testing.T) {
+	args := []string{fixture("errflowdata"), fixture("floatcmpdata")}
+	var first strings.Builder
+	if code := run(args, &first, &first); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var second strings.Builder
+	if code := run(args, &second, &second); code != 1 {
+		t.Fatalf("second exit code = %d, want 1", code)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("output differs between runs:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunCleanExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{fixture("cleandata")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout: %s stderr: %s)", code, stdout.String(), stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Fatalf("clean run produced output: %q", stdout.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-json", "-checker", "enumswitch", fixture("enumswitchdata")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Checker string `json:"checker"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %s", len(findings), stdout.String())
+	}
+	f := findings[0]
+	if f.Checker != "enumswitch" || f.Line == 0 || !strings.Contains(f.Message, "missing Blue") {
+		t.Fatalf("unexpected finding: %+v", f)
+	}
+}
+
+func TestRunJSONEmptyArray(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", fixture("cleandata")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-checker", "nosuch", fixture("cleandata")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown checker: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown checker") {
+		t.Fatalf("stderr missing diagnosis: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern: exit code = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h: exit code = %d, want 0", code)
+	}
+	usage := stderr.String()
+	for _, want := range []string{"ppdblint -checker lockcheck ./internal/ppdb/...", "lockcheck", "floatcmp", "enumswitch", "errflow", "lint:ignore"} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage output missing %q", want)
+		}
+	}
+}
+
+// sortedByLine checks that same-file findings appear in ascending source
+// line order (`path:line: ...`).
+func sortedByLine(lines []string) bool {
+	prev := -1
+	for _, l := range lines {
+		rest := l[strings.LastIndex(l[:strings.Index(l, ": [")], ":")+1:]
+		n, err := strconv.Atoi(rest[:strings.Index(rest, ":")])
+		if err != nil || n < prev {
+			return false
+		}
+		prev = n
+	}
+	return true
+}

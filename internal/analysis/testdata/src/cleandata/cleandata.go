@@ -1,0 +1,34 @@
+// Package cleandata has no findings under any checker; the driver
+// integration test asserts exit code 0 against it.
+package cleandata
+
+import "sync"
+
+// Box is a correctly locked container.
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Set stores v.
+func (b *Box) Set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v = v
+}
+
+// Get loads the value.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// Near compares floats with an explicit tolerance.
+func Near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}

@@ -1,0 +1,72 @@
+// Package enumswitchdata is a golden-file fixture for the enumswitch
+// checker.
+package enumswitchdata
+
+// Color is an iota enum with three members.
+type Color int
+
+// Color members.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Partial misses Blue and has no default: flagged.
+func Partial(c Color) string {
+	switch c { // want "missing Blue"
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// Exhaustive covers every member: no finding.
+func Exhaustive(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// Defaulted is partial but has a default: no finding.
+func Defaulted(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// Deliberate documents an intentionally partial switch.
+func Deliberate(c Color) bool {
+	//lint:ignore enumswitch fixture: only Red matters to this predicate
+	switch c {
+	case Red:
+		return true
+	}
+	return false
+}
+
+// single has one constant: not an enum, never flagged.
+type single int
+
+// Only is single's sole member.
+const Only single = 0
+
+// NotAnEnum switches over a one-constant type: no finding.
+func NotAnEnum(s single) bool {
+	switch s {
+	case Only:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Package errflowdata is a golden-file fixture for the errflow checker.
+package errflowdata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func touch() error { return nil }
+
+// Dropped ignores an error-returning call entirely: flagged.
+func Dropped() {
+	touch() // want "discarded"
+}
+
+// Blank sends the error to _: flagged.
+func Blank(s string) int {
+	n, _ := parse(s) // want "assigned to _"
+	return n
+}
+
+// DeferredDrop drops an error in a defer: flagged.
+func DeferredDrop() {
+	defer touch() // want "discarded"
+}
+
+// Handled checks the error: no finding.
+func Handled(s string) (int, error) {
+	n, err := parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// BoolBlank discards a bool, not an error: no finding.
+func BoolBlank(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+
+// PrintFamily uses the exempt fmt print family: no finding.
+func PrintFamily(b *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(b, "world")
+	b.WriteString("!")
+}
+
+// Deliberate documents a best-effort call.
+func Deliberate() {
+	//lint:ignore errflow fixture: best-effort cache warm-up, failure is benign
+	touch()
+}

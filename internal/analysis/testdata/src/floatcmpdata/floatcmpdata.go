@@ -1,0 +1,37 @@
+// Package floatcmpdata is a golden-file fixture for the floatcmp checker.
+package floatcmpdata
+
+// Severity mimics a named float type from the severity math.
+type Severity float64
+
+// EqualExact compares floats exactly: flagged.
+func EqualExact(a, b float64) bool {
+	return a == b // want "float comparison"
+}
+
+// NotEqualNamed compares named-float values exactly: flagged.
+func NotEqualNamed(a, b Severity) bool {
+	return a != b // want "float comparison"
+}
+
+// SwitchOnFloat switches on a float tag: flagged.
+func SwitchOnFloat(x float64) string {
+	switch x { // want "switch on float"
+	case 0:
+		return "zero"
+	default:
+		return "nonzero"
+	}
+}
+
+// IntsAreFine compares integers: no finding.
+func IntsAreFine(a, b int) bool { return a == b }
+
+// OrderedIsFine uses <: no finding.
+func OrderedIsFine(a, b float64) bool { return a < b }
+
+// DeliberateExact documents an intentional exact comparison.
+func DeliberateExact(x float64) bool {
+	//lint:ignore floatcmp fixture: sentinel zero is assigned, never computed
+	return x == 0
+}

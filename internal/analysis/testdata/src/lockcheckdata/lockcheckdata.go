@@ -1,0 +1,100 @@
+// Package lockcheckdata is a golden-file fixture for the lockcheck
+// checker: each want annotation asserts a finding whose message contains
+// the quoted substring on that line.
+package lockcheckdata
+
+import "sync"
+
+// Counter guards its state with a mutex.
+type Counter struct {
+	mu    sync.Mutex
+	n     int
+	hits  map[string]int
+	label string // never mutated by a method: immutable, lock not required
+}
+
+// New builds a counter; constructor writes do not count as mutation.
+func New(label string) *Counter {
+	return &Counter{hits: map[string]int{}, label: label}
+}
+
+// Add locks correctly.
+func (c *Counter) Add(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits[k]++
+}
+
+// Peek reads guarded state without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want "accesses guarded field"
+}
+
+// Label reads an immutable field: no lock needed, no finding.
+func (c *Counter) Label() string { return c.label }
+
+// Hits leaks the guarded map out of the critical section.
+func (c *Counter) Hits() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits // want "escapes"
+}
+
+// HitsCopy returns a copy: no finding.
+func (c *Counter) HitsCopy() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.hits))
+	for k, v := range c.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// PeekRacy documents a deliberately unlocked read; the directive keeps the
+// checker quiet.
+func (c *Counter) PeekRacy() int {
+	//lint:ignore lockcheck fixture: approximate reads are acceptable for monitoring
+	return c.n
+}
+
+// reset is unexported: assumed to run under the caller's lock, no finding.
+func (c *Counter) reset() {
+	c.n = 0
+	c.hits = map[string]int{}
+}
+
+// SelfLocked has its own mutex, so returning a pointer to it is a safe
+// handoff.
+type SelfLocked struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Touch mutates the inner value so the checker sees it as guarded state.
+func (s *SelfLocked) Touch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v++
+}
+
+// Registry hands out self-locked cells.
+type Registry struct {
+	mu   sync.Mutex
+	cell *SelfLocked
+}
+
+// Swap installs a new cell.
+func (r *Registry) Swap(c *SelfLocked) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cell = c
+}
+
+// Cell returns the self-locking cell: safe handoff, no finding.
+func (r *Registry) Cell() *SelfLocked {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cell
+}
