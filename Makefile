@@ -1,8 +1,25 @@
-# Verification loop for the reproduction (see DESIGN.md §6).
+# Verification loop for the reproduction (see DESIGN.md §6 and §7).
+# `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
+# the targeted race pass).
 
-.PHONY: all build vet test race bench experiments cover
+.PHONY: all build vet lint check ci test race bench experiments cover
 
 all: build vet test
+
+check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	go vet ./...
+	go run ./cmd/ppdblint ./...
+	go build ./...
+	go test ./...
+
+# lint runs just the repo-specific static-analysis suite (a subset of check).
+lint:
+	go run ./cmd/ppdblint ./...
+
+ci:
+	./scripts/ci.sh
 
 build:
 	go build ./...

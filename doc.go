@@ -3,6 +3,15 @@
 // workshop at VLDB 2011, LNCS 6933): the four-dimensional privacy taxonomy,
 // the violation / severity / default model (Defs. 1-5, Eqs. 12-16, 25-31),
 // an α-PPDB prototype over a from-scratch relational engine, and the full
-// experiment suite. See README.md for the tour and DESIGN.md for the
-// system inventory and experiment index.
+// experiment suite.
+//
+// Commands: cmd/experiments regenerates every table and figure,
+// cmd/ppdbaudit audits a policy/preference corpus, cmd/ppdbsim runs the
+// Westin-population expansion simulation, cmd/whatif prices a policy
+// change (Eq. 31), cmd/ppdbserver serves the PPDB over HTTP, and
+// cmd/ppdblint runs the repo-specific static-analysis suite that gates
+// `make check` (e.g. `ppdblint -checker lockcheck ./internal/ppdb/...`).
+//
+// See README.md for the tour and DESIGN.md for the system inventory,
+// experiment index and the static-analysis invariants (§7).
 package repro

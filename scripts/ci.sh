@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: the full `make check` chain (gofmt, go vet, ppdblint, build,
+# tests) plus a race pass over the concurrency-bearing packages — the PPDB
+# prototype and the relational engine, whose mutex discipline lockcheck
+# verifies statically.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+make check
+go test -race ./internal/ppdb/... ./internal/relational/...
