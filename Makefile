@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint check ci test race bench experiments cover
+.PHONY: all build vet lint check ci test race bench bench-all experiments cover
 
 all: build vet test
 
@@ -33,7 +33,13 @@ test:
 race:
 	go test -race ./...
 
+# bench runs the certification benches and records BENCH_certify.json
+# (cold vs incremental ledger certification). Not part of `make check`.
 bench:
+	./scripts/bench.sh
+
+# bench-all runs every benchmark in the repo.
+bench-all:
 	go test -bench=. -benchmem ./...
 
 experiments:

@@ -153,6 +153,107 @@ func BenchmarkAssessPopulation(b *testing.B) {
 	}
 }
 
+// benchCertifyDB builds a PPDB with n registered providers for the
+// certification benches (the ledger is built once by RegisterProviders).
+func benchCertifyDB(b *testing.B, n int) *ppdb.DB {
+	b.Helper()
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+			{Name: "income", Sensitivity: 5, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("weight", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	hp.Add("income", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	db, err := ppdb.New(ppdb.Config{Policy: hp, AttrSens: gen.AttributeSensitivities()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterProviders(population.PrefsOf(gen.Generate(n))); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// certifyBenchSizes are the populations the certification benches run at;
+// scripts/bench.sh records both in BENCH_certify.json.
+var certifyBenchSizes = []int{1000, 100000}
+
+// BenchmarkCertifyCold measures the seed full-recompute certification path
+// (CertifyFull): every provider is re-assessed on every call, O(N).
+func BenchmarkCertifyCold(b *testing.B) {
+	for _, n := range certifyBenchSizes {
+		db := benchCertifyDB(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cert, err := db.CertifyFull(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cert.Report.N != n {
+					b.Fatal("wrong N")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertifyIncremental measures the ledger path after a
+// single-provider preference edit: each iteration applies one self-service
+// edit (an O(1) delta to the ledger) and certifies from the materialized
+// rows — no population re-assessment.
+func BenchmarkCertifyIncremental(b *testing.B) {
+	for _, n := range certifyBenchSizes {
+		db := benchCertifyDB(b, n)
+		// Two preference variants for one provider, alternated so every
+		// iteration is a real state change, never a memoization hit.
+		variants := make([]*privacy.Prefs, 2)
+		for v := range variants {
+			p := privacy.NewPrefs("provider-0000", 5)
+			lv := privacy.Level(v) // 0 → violated, 1 → still violated, differently
+			p.Add("weight", privacy.Tuple{Purpose: "service", Visibility: lv, Granularity: lv, Retention: lv})
+			p.Add("income", privacy.Tuple{Purpose: "service", Visibility: lv, Granularity: lv, Retention: lv})
+			variants[v] = p
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.UpdatePreferences("provider-0000", variants[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				cert, err := db.Certify(0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cert.Report.N != n {
+					b.Fatal("wrong N")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCertifySummary measures the O(1) aggregate-only certification.
+func BenchmarkCertifySummary(b *testing.B) {
+	db := benchCertifyDB(b, 100000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := db.CertifySummary(0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.N != 100000 {
+			b.Fatal("wrong N")
+		}
+	}
+}
+
 // BenchmarkEstimatePW measures the trial-based Def. 2 estimator.
 func BenchmarkEstimatePW(b *testing.B) {
 	a, pop := benchPopulation(b, 1000)

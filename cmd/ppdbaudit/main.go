@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ledger"
 	"repro/internal/policydsl"
 )
 
@@ -58,7 +60,20 @@ func runAudit(in string, alpha float64, top int, asJSON bool) error {
 	if err != nil {
 		return err
 	}
-	rep := assessor.AssessPopulation(doc.Providers)
+	// Build the violation ledger across the worker pool and assemble the
+	// report from its materialized rows (sorted by provider key, so the
+	// output is stable across runs). Duplicate provider blocks collapse,
+	// last one wins — the same semantics as registering against a PPDB.
+	led, err := ledger.New(assessor, 1)
+	if err != nil {
+		return err
+	}
+	items := make([]ledger.Item, len(doc.Providers))
+	for i, p := range doc.Providers {
+		items[i] = ledger.Item{Key: strings.ToLower(p.Provider), Prefs: p, Version: uint64(i + 1)}
+	}
+	led.UpsertBatch(items)
+	rep := led.Snapshot()
 
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -208,6 +208,14 @@ func (a *Assessor) AssessProvider(p *privacy.Prefs) ProviderReport {
 	return rep
 }
 
+// AssessOne is the stable per-provider entry point for incremental
+// maintainers (internal/ledger): one provider in, one immutable report out.
+// The report must not be mutated by callers — memoizing layers hand the
+// same row to many readers. Semantically identical to AssessProvider.
+func (a *Assessor) AssessOne(p *privacy.Prefs) ProviderReport {
+	return a.AssessProvider(p)
+}
+
 // Severity computes Violation_i (Eq. 15) alone.
 func (a *Assessor) Severity(p *privacy.Prefs) float64 {
 	return a.AssessProvider(p).Violation
@@ -234,17 +242,29 @@ type PopulationReport struct {
 // AssessPopulation evaluates every provider and aggregates. An empty
 // population yields zero probabilities.
 func (a *Assessor) AssessPopulation(pop []*privacy.Prefs) PopulationReport {
-	rep := PopulationReport{N: len(pop), Providers: make([]ProviderReport, 0, len(pop))}
+	rows := make([]ProviderReport, 0, len(pop))
 	for _, p := range pop {
-		pr := a.AssessProvider(p)
-		if pr.Violated {
+		rows = append(rows, a.AssessOne(p))
+	}
+	return AssemblePopulation(rows)
+}
+
+// AssemblePopulation aggregates precomputed per-provider rows into a
+// PopulationReport without re-assessing anyone — the report-assembly path
+// for materialized rows (internal/ledger). The float total is summed in
+// slice order, so feeding it the same rows in the same order as a direct
+// AssessPopulation yields bit-identical results. The rows slice is
+// retained as Providers, not copied.
+func AssemblePopulation(rows []ProviderReport) PopulationReport {
+	rep := PopulationReport{N: len(rows), Providers: rows}
+	for i := range rows {
+		if rows[i].Violated {
 			rep.ViolatedCount++
 		}
-		if pr.Defaults {
+		if rows[i].Defaults {
 			rep.DefaultCount++
 		}
-		rep.TotalViolations += pr.Violation
-		rep.Providers = append(rep.Providers, pr)
+		rep.TotalViolations += rows[i].Violation
 	}
 	if rep.N > 0 {
 		rep.PW = float64(rep.ViolatedCount) / float64(rep.N)

@@ -3,6 +3,7 @@
 //
 //	POST /query      {requester, purpose, visibility, sql} → {columns, rows}
 //	GET  /certify?alpha=0.1                                → certification
+//	GET  /certify/summary?alpha=0.1                        → aggregate-only certification (O(1) from the ledger)
 //	GET  /policy                                           → current policy
 //	PUT  /policy     DSL document with one policy block    → policy change
 //	POST /providers  DSL document with provider blocks     → count registered
@@ -44,6 +45,7 @@ func New(db *ppdb.DB) (*Server, error) {
 	s := &Server{db: db, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/certify", s.handleCertify)
+	s.mux.HandleFunc("/certify/summary", s.handleCertifySummary)
 	s.mux.HandleFunc("/policy", s.handlePolicy)
 	s.mux.HandleFunc("/providers", s.handleProviders)
 	s.mux.HandleFunc("/audit", s.handleAudit)
@@ -134,18 +136,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
+// alphaParam parses ?alpha=, defaulting to 0.1.
+func alphaParam(r *http.Request) (float64, error) {
 	alpha := 0.1
 	if q := r.URL.Query().Get("alpha"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad alpha %q", q))
-			return
+			return 0, fmt.Errorf("bad alpha %q", q)
 		}
 		alpha = v
+	}
+	return alpha, nil
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	alpha, err := alphaParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
 	cert, err := s.db.Certify(alpha)
 	if err != nil {
@@ -153,6 +164,26 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, cert)
+}
+
+// handleCertifySummary serves GET /certify/summary?alpha=: the aggregate
+// certification (N, P(W), P(Default), counts, verdict) without per-provider
+// rows, answered from the violation ledger's running aggregates in O(1).
+func (s *Server) handleCertifySummary(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	alpha, err := alphaParam(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := s.db.CertifySummary(alpha)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
@@ -211,11 +242,11 @@ func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no provider blocks"))
 			return
 		}
-		for _, p := range doc.Providers {
-			if err := s.db.RegisterProvider(p); err != nil {
-				writeErr(w, http.StatusBadRequest, err)
-				return
-			}
+		// Bulk registration: validates the whole batch before storing any
+		// of it and builds the ledger rows across a worker pool.
+		if err := s.db.RegisterProviders(doc.Providers); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"registered": len(doc.Providers)})
 	default:

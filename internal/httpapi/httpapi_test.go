@@ -127,6 +127,39 @@ func TestCertifyEndpoint(t *testing.T) {
 	}
 }
 
+// TestCertifySummaryEndpoint exercises the O(1) aggregate certification
+// served from the violation ledger.
+func TestCertifySummaryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/certify/summary?alpha=0.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var sum struct {
+		Alpha         float64 `json:"Alpha"`
+		N             int     `json:"N"`
+		PolicyName    string  `json:"PolicyName"`
+		PolicyVersion uint64  `json:"PolicyVersion"`
+		IsAlphaPPDB   bool    `json:"IsAlphaPPDB"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Alpha != 0.5 || sum.N != 1 || sum.PolicyName != "v1" || sum.PolicyVersion != 1 || !sum.IsAlphaPPDB {
+		t.Errorf("summary = %+v (body %s)", sum, rec.Body)
+	}
+	// No per-provider rows in the summary payload.
+	if strings.Contains(rec.Body.String(), "Providers") {
+		t.Error("summary must not materialize per-provider rows")
+	}
+	if rec := do(t, srv, http.MethodGet, "/certify/summary?alpha=bogus", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad alpha status = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPost, "/certify/summary", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", rec.Code)
+	}
+}
+
 func TestPolicyRoundTrip(t *testing.T) {
 	srv := testServer(t)
 	rec := do(t, srv, http.MethodGet, "/policy", "")

@@ -1,0 +1,302 @@
+// Package ledger maintains a materialized view of a population's violation
+// state: one memoized core.ProviderReport per provider, keyed on
+// (policy version, provider prefs version), plus running aggregates
+// (Σ w_i, Σ default_i, Σ Violation_i). The paper's population quantities —
+// P(W) = Σ w_i / N (Def. 2), P(Default) (Def. 5) and the house total
+// Violations (Eq. 16) — are sums of independent per-provider terms, so they
+// admit classic incremental view maintenance: applying a preference edit
+// costs one re-assessment (O(changed)), and the population answer is read
+// from the aggregates in O(1) instead of recomputed over all N providers.
+//
+// Invalidation rules:
+//
+//   - a provider's row is recomputed when its prefs version changes
+//     (self-service edit, re-registration) — O(1) per edit;
+//   - a policy swap bumps the policy version and invalidates every row —
+//     Rebuild re-assesses the whole population, fanned out across a
+//     bounded worker pool (a cold rebuild, also used for load-from-disk);
+//   - a removal subtracts the provider's contribution from the aggregates.
+//
+// Exactness: the integer aggregates (N, violated, defaulted — and hence
+// P(W) and P(Default), which are ratios of integers) are always exact.
+// The running float total drifts from a fresh sum by at most accumulated
+// rounding (adds and subtracts in edit order), so Summary is O(1) but
+// last-ulp approximate in TotalViolations; Snapshot re-sums the memoized
+// rows in sorted provider order and is bit-identical to a full recompute
+// over the same sorted population.
+package ledger
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/privacy"
+)
+
+// entry is one provider's materialized row.
+type entry struct {
+	prefs *privacy.Prefs
+	// prefsVersion is the registration counter value the report was
+	// computed from; policyVersion the policy counter. Together they key
+	// the memoization: a matching pair means the report is current.
+	prefsVersion  uint64
+	policyVersion uint64
+	report        core.ProviderReport
+}
+
+// Ledger is the materialized violation view. Safe for concurrent use.
+type Ledger struct {
+	mu sync.RWMutex
+
+	assessor      *core.Assessor
+	policyVersion uint64
+
+	entries map[string]*entry
+	keys    []string // sorted; kept in lockstep with entries
+
+	// Running aggregates over all entries.
+	violated  int
+	defaulted int
+	total     float64
+}
+
+// Item is one (key, prefs, version) triple for batch application.
+type Item struct {
+	Key     string
+	Prefs   *privacy.Prefs
+	Version uint64
+}
+
+// Summary is the O(1) population answer read from the running aggregates.
+type Summary struct {
+	N               int
+	ViolatedCount   int     // Σ_i w_i, exact
+	DefaultCount    int     // Σ_i default_i, exact
+	TotalViolations float64 // Eq. 16, running (last-ulp approximate)
+	PW              float64 // Def. 2, exact ratio of integers
+	PDefault        float64 // Def. 5, exact ratio of integers
+	PolicyVersion   uint64
+}
+
+// New builds an empty ledger assessing against a.
+func New(a *core.Assessor, policyVersion uint64) (*Ledger, error) {
+	if a == nil {
+		return nil, fmt.Errorf("ledger: nil assessor")
+	}
+	return &Ledger{
+		assessor:      a,
+		policyVersion: policyVersion,
+		entries:       make(map[string]*entry),
+	}, nil
+}
+
+// PolicyVersion returns the policy counter the rows are keyed on.
+func (l *Ledger) PolicyVersion() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.policyVersion
+}
+
+// Len returns the number of materialized providers.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Upsert applies one provider registration or preference edit: if the
+// memoized row already matches (policy version, prefs version) it is
+// returned untouched; otherwise the provider is re-assessed — O(1), the
+// delta apply — and the aggregates are adjusted.
+func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) core.ProviderReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok && e.prefsVersion == prefsVersion && e.policyVersion == l.policyVersion {
+		return e.report
+	}
+	rep := l.assessor.AssessOne(prefs)
+	l.applyLocked(key, prefs, prefsVersion, rep)
+	return rep
+}
+
+// UpsertBatch applies many registrations at once, fanning the assessments
+// out across a bounded worker pool — the cold-build path for bulk loads.
+func (l *Ledger) UpsertBatch(items []Item) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	reports := make([]core.ProviderReport, len(items))
+	fanOut(len(items), func(i int) {
+		reports[i] = l.assessor.AssessOne(items[i].Prefs)
+	})
+	for i, it := range items {
+		l.applyLocked(it.Key, it.Prefs, it.Version, reports[i])
+	}
+}
+
+// Remove drops a provider's row and subtracts its contribution. It reports
+// whether the provider was present.
+func (l *Ledger) Remove(key string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		return false
+	}
+	l.subtractLocked(e)
+	delete(l.entries, key)
+	i := sort.SearchStrings(l.keys, key)
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	return true
+}
+
+// Rebuild invalidates every row against a new assessor (policy swap) and
+// re-assesses the whole population across a bounded worker pool. The
+// aggregates are re-summed from scratch in sorted provider order.
+func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.assessor = a
+	l.policyVersion = policyVersion
+	reports := make([]core.ProviderReport, len(l.keys))
+	fanOut(len(l.keys), func(i int) {
+		reports[i] = a.AssessOne(l.entries[l.keys[i]].prefs)
+	})
+	l.violated, l.defaulted, l.total = 0, 0, 0
+	for i, k := range l.keys {
+		e := l.entries[k]
+		e.report = reports[i]
+		e.policyVersion = policyVersion
+		l.addLocked(e)
+	}
+}
+
+// Report returns the memoized row for one provider — the O(1) per-provider
+// violation read (self-service audits).
+func (l *Ledger) Report(key string) (core.ProviderReport, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.entries[key]
+	if !ok {
+		return core.ProviderReport{}, false
+	}
+	return e.report, true
+}
+
+// Summary answers P(W), P(Default) and the counts from the running
+// aggregates in O(1).
+func (l *Ledger) Summary() Summary {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := Summary{
+		N:               len(l.entries),
+		ViolatedCount:   l.violated,
+		DefaultCount:    l.defaulted,
+		TotalViolations: l.total,
+		PolicyVersion:   l.policyVersion,
+	}
+	if s.N > 0 {
+		s.PW = float64(s.ViolatedCount) / float64(s.N)
+		s.PDefault = float64(s.DefaultCount) / float64(s.N)
+	}
+	return s
+}
+
+// Snapshot assembles the full population report from the memoized rows in
+// sorted provider order — O(N) copying, zero re-assessment. The float
+// total is re-summed in that order, so the result is bit-identical to a
+// full recompute over the same sorted population.
+func (l *Ledger) Snapshot() core.PopulationReport {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	rows := make([]core.ProviderReport, len(l.keys))
+	for i, k := range l.keys {
+		rows[i] = l.entries[k].report
+	}
+	return core.AssemblePopulation(rows)
+}
+
+// WouldDefault lists the providers whose Violation_i exceeds their
+// threshold, in sorted key order.
+func (l *Ledger) WouldDefault() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []string
+	for _, k := range l.keys {
+		if e := l.entries[k]; e.report.Defaults {
+			out = append(out, e.report.Provider)
+		}
+	}
+	return out
+}
+
+// applyLocked installs a freshly computed report for key, adjusting the
+// aggregates by the delta (subtract the old row, add the new).
+func (l *Ledger) applyLocked(key string, prefs *privacy.Prefs, prefsVersion uint64, rep core.ProviderReport) {
+	if e, ok := l.entries[key]; ok {
+		l.subtractLocked(e)
+		e.prefs, e.prefsVersion, e.policyVersion, e.report = prefs, prefsVersion, l.policyVersion, rep
+		l.addLocked(e)
+		return
+	}
+	e := &entry{prefs: prefs, prefsVersion: prefsVersion, policyVersion: l.policyVersion, report: rep}
+	l.entries[key] = e
+	i := sort.SearchStrings(l.keys, key)
+	l.keys = append(l.keys, "")
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.addLocked(e)
+}
+
+func (l *Ledger) addLocked(e *entry) {
+	if e.report.Violated {
+		l.violated++
+	}
+	if e.report.Defaults {
+		l.defaulted++
+	}
+	l.total += e.report.Violation
+}
+
+func (l *Ledger) subtractLocked(e *entry) {
+	if e.report.Violated {
+		l.violated--
+	}
+	if e.report.Defaults {
+		l.defaulted--
+	}
+	l.total -= e.report.Violation
+}
+
+// fanOut runs f(0..n-1) across a bounded worker pool sized to the
+// machine; n below the bound degrades to one goroutine per index.
+func fanOut(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

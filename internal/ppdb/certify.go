@@ -5,12 +5,13 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/privacy"
 )
 
 // Certification is the α-PPDB assessment of the database at a point in time
 // (Def. 3 operationalized): the population report for the current policy
 // over the registered providers, plus the verdict for the requested α.
+// Per-provider rows are ordered by canonical provider key, so the report
+// (and everything derived from it) is stable across runs.
 type Certification struct {
 	At         time.Time
 	PolicyName string
@@ -26,29 +27,128 @@ type Certification struct {
 	WouldDefault []string
 }
 
+// CertificationSummary is the aggregate-only certification: the population
+// quantities without per-provider rows. With the ledger enabled it is
+// answered from the running aggregates in O(1); TotalViolations is then
+// the running float total (last-ulp approximate — see internal/ledger),
+// while every other field is exact.
+type CertificationSummary struct {
+	At              time.Time
+	PolicyName      string
+	PolicyVersion   uint64
+	Alpha           float64
+	N               int
+	ViolatedCount   int     // Σ_i w_i
+	DefaultCount    int     // Σ_i default_i
+	TotalViolations float64 // Eq. 16
+	PW              float64 // Def. 2
+	PDefault        float64 // Def. 5
+	IsAlphaPPDB     bool
+	MinAlpha        float64
+}
+
 // Certify assesses the current policy against every registered provider and
-// issues the α verdict.
+// issues the α verdict. With the ledger enabled the report is assembled
+// from the memoized per-provider rows — O(N) copying, zero re-assessment
+// after an O(changed) delta apply; otherwise it falls back to the full
+// recompute of CertifyFull. Both paths produce identical results.
 func (d *DB) Certify(alpha float64) (*Certification, error) {
-	if alpha < 0 || alpha > 1 {
-		return nil, fmt.Errorf("ppdb: alpha %g must be in [0, 1]", alpha)
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if d.ledger == nil {
+		return d.CertifyFull(alpha)
 	}
 	d.mu.RLock()
 	policy := d.policy
-	pop := make([]*privacy.Prefs, 0, len(d.providers))
-	for _, p := range d.providers {
-		pop = append(pop, p)
-	}
 	now := d.now
+	rep := d.ledger.Snapshot()
 	d.mu.RUnlock()
+	return certification(now, policy.Name, alpha, rep), nil
+}
 
-	assessor, err := core.NewAssessor(policy, d.attrSens, d.opts)
-	if err != nil {
+// CertifyFull recomputes the certification from scratch over the sorted
+// population — the seed O(N) path, kept as the ledger's fallback and as
+// the oracle the equivalence tests compare against. The constructed
+// assessor is cached on the DB (invalidated by SetPolicy), so even this
+// path skips per-call validation and reconstruction.
+func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
+	if err := checkAlpha(alpha); err != nil {
 		return nil, err
 	}
+	d.mu.RLock()
+	policy := d.policy
+	assessor := d.assessor
+	pop := d.populationLocked()
+	now := d.now
+	d.mu.RUnlock()
 	rep := assessor.AssessPopulation(pop)
+	return certification(now, policy.Name, alpha, rep), nil
+}
+
+// CertifySummary answers the population-level certification without
+// materializing per-provider rows. With the ledger enabled this is O(1).
+func (d *DB) CertifySummary(alpha float64) (*CertificationSummary, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if d.ledger == nil {
+		cert, err := d.CertifyFull(alpha)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.RLock()
+		version := d.policyVersion
+		d.mu.RUnlock()
+		return &CertificationSummary{
+			At:              cert.At,
+			PolicyName:      cert.PolicyName,
+			PolicyVersion:   version,
+			Alpha:           alpha,
+			N:               cert.Report.N,
+			ViolatedCount:   cert.Report.ViolatedCount,
+			DefaultCount:    cert.Report.DefaultCount,
+			TotalViolations: cert.Report.TotalViolations,
+			PW:              cert.Report.PW,
+			PDefault:        cert.Report.PDefault,
+			IsAlphaPPDB:     cert.IsAlphaPPDB,
+			MinAlpha:        cert.Report.PW,
+		}, nil
+	}
+	d.mu.RLock()
+	policy := d.policy
+	now := d.now
+	sum := d.ledger.Summary()
+	d.mu.RUnlock()
+	return &CertificationSummary{
+		At:              now,
+		PolicyName:      policy.Name,
+		PolicyVersion:   sum.PolicyVersion,
+		Alpha:           alpha,
+		N:               sum.N,
+		ViolatedCount:   sum.ViolatedCount,
+		DefaultCount:    sum.DefaultCount,
+		TotalViolations: sum.TotalViolations,
+		PW:              sum.PW,
+		PDefault:        sum.PDefault,
+		IsAlphaPPDB:     core.IsAlphaPPDB(sum.PW, alpha),
+		MinAlpha:        sum.PW,
+	}, nil
+}
+
+// checkAlpha validates the α threshold.
+func checkAlpha(alpha float64) error {
+	if alpha < 0 || alpha > 1 {
+		return fmt.Errorf("ppdb: alpha %g must be in [0, 1]", alpha)
+	}
+	return nil
+}
+
+// certification assembles the verdict around a population report.
+func certification(at time.Time, policyName string, alpha float64, rep core.PopulationReport) *Certification {
 	cert := &Certification{
-		At:          now,
-		PolicyName:  policy.Name,
+		At:          at,
+		PolicyName:  policyName,
 		Alpha:       alpha,
 		Report:      rep,
 		IsAlphaPPDB: core.IsAlphaPPDB(rep.PW, alpha),
@@ -59,7 +159,7 @@ func (d *DB) Certify(alpha float64) (*Certification, error) {
 			cert.WouldDefault = append(cert.WouldDefault, pr.Provider)
 		}
 	}
-	return cert, nil
+	return cert
 }
 
 // EnforceDefaults removes every provider whose violations exceed their

@@ -68,7 +68,15 @@ func (d *DB) Save(dir string) error {
 	}
 
 	state := stateJSON{Now: d.now, Tables: map[string]tableJSON{}}
-	for name, tm := range d.tables {
+	// Tables in sorted name order so the artifact writes are deterministic
+	// run to run (map iteration order is not).
+	tableNames := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		tableNames = append(tableNames, n)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		tm := d.tables[name]
 		state.Tables[name] = tableJSON{ProviderCol: tm.providerCol}
 
 		schemaSQL := fmt.Sprintf("CREATE TABLE %s (%s)", name, tm.table.Schema())
@@ -163,10 +171,10 @@ func Load(dir string, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range doc.Providers {
-		if err := db.RegisterProvider(p); err != nil {
-			return nil, err
-		}
+	// Bulk registration: one cold ledger build fanned out across the
+	// worker pool instead of N serial upserts.
+	if err := db.RegisterProviders(doc.Providers); err != nil {
+		return nil, err
 	}
 
 	names := make([]string, 0, len(state.Tables))

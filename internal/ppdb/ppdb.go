@@ -13,12 +13,14 @@ package ppdb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/generalize"
+	"repro/internal/ledger"
 	"repro/internal/privacy"
 	"repro/internal/relational"
 )
@@ -59,6 +61,20 @@ type DB struct {
 	audit *Audit
 
 	policyLog []PolicyChange
+
+	// assessor is the cached assessor for (policy, attrSens, opts); it is
+	// rebuilt only by SetPolicy, so the full-recompute fallback paths never
+	// re-validate and reconstruct one per call.
+	assessor *core.Assessor
+	// ledger is the incremental violation view (nil when
+	// Config.DisableIncremental is set); it is constructed once and
+	// self-locking, and every provider/policy mutation keeps it current.
+	ledger *ledger.Ledger
+	// policyVersion counts SetPolicy transitions; prefsVersion is a
+	// monotonic counter stamped onto each provider registration. Together
+	// they key the ledger's memoized rows.
+	policyVersion uint64
+	prefsVersion  uint64
 }
 
 // PolicyChange records one policy version transition for the audit trail
@@ -90,6 +106,12 @@ type Config struct {
 	Retention RetentionSchedule
 	// Start is the initial simulated time; zero means a fixed epoch.
 	Start time.Time
+	// DisableIncremental turns off the violation ledger: certification,
+	// self-audits and policy what-ifs fall back to full recomputation over
+	// all providers. Assessment results are identical either way; this
+	// exists for A/B verification and write-heavy workloads that never
+	// certify.
+	DisableIncremental bool
 }
 
 // New builds a PPDB.
@@ -128,19 +150,33 @@ func New(cfg Config) (*DB, error) {
 	for a, h := range cfg.Hierarchies {
 		hier[strings.ToLower(a)] = h
 	}
-	return &DB{
-		rdb:         relational.NewDatabase(),
-		scales:      scales,
-		policy:      cfg.Policy,
-		attrSens:    cfg.AttrSens,
-		opts:        cfg.Options,
-		providers:   make(map[string]*privacy.Prefs),
-		tables:      make(map[string]*tableMeta),
-		hierarchies: hier,
-		retention:   ret,
-		now:         start,
-		audit:       newAudit(),
-	}, nil
+	assessor, err := core.NewAssessor(cfg.Policy, cfg.AttrSens, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	d := &DB{
+		rdb:           relational.NewDatabase(),
+		scales:        scales,
+		policy:        cfg.Policy,
+		attrSens:      cfg.AttrSens,
+		opts:          cfg.Options,
+		providers:     make(map[string]*privacy.Prefs),
+		tables:        make(map[string]*tableMeta),
+		hierarchies:   hier,
+		retention:     ret,
+		now:           start,
+		audit:         newAudit(),
+		assessor:      assessor,
+		policyVersion: 1,
+	}
+	if !cfg.DisableIncremental {
+		led, err := ledger.New(assessor, d.policyVersion)
+		if err != nil {
+			return nil, err
+		}
+		d.ledger = led
+	}
+	return d, nil
 }
 
 // Now returns the simulated clock.
@@ -206,7 +242,9 @@ func (d *DB) RegisterTable(name string, schema *relational.Schema, providerCol s
 }
 
 // RegisterProvider records a provider's preferences. Re-registering replaces
-// the previous preferences (providers may revise them).
+// the previous preferences (providers may revise them). Each registration
+// bumps the provider's prefs version and applies an O(1) delta to the
+// violation ledger.
 func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 	if p == nil {
 		return fmt.Errorf("ppdb: nil preferences")
@@ -216,7 +254,46 @@ func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.providers[strings.ToLower(p.Provider)] = p
+	d.registerLocked(p)
+	return nil
+}
+
+// registerLocked stores validated preferences, stamping a fresh prefs
+// version and upserting the ledger row.
+func (d *DB) registerLocked(p *privacy.Prefs) {
+	key := strings.ToLower(p.Provider)
+	d.providers[key] = p
+	d.prefsVersion++
+	if d.ledger != nil {
+		d.ledger.Upsert(key, p, d.prefsVersion)
+	}
+}
+
+// RegisterProviders records a batch of providers atomically: every
+// preference set is validated before any is stored, and the ledger rows are
+// computed across a bounded worker pool — the cold-build path Load and the
+// HTTP bulk upload use.
+func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
+	for i, p := range ps {
+		if p == nil {
+			return fmt.Errorf("ppdb: nil preferences at index %d", i)
+		}
+		if err := p.Validate(d.scales); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	items := make([]ledger.Item, 0, len(ps))
+	for _, p := range ps {
+		key := strings.ToLower(p.Provider)
+		d.providers[key] = p
+		d.prefsVersion++
+		items = append(items, ledger.Item{Key: key, Prefs: p, Version: d.prefsVersion})
+	}
+	if d.ledger != nil {
+		d.ledger.UpsertBatch(items)
+	}
 	return nil
 }
 
@@ -228,13 +305,26 @@ func (d *DB) Provider(name string) (*privacy.Prefs, bool) {
 	return p, ok
 }
 
-// Providers returns all registered preferences (order unspecified).
+// Providers returns all registered preferences, sorted by provider key so
+// reports and persisted artifacts derived from it are stable across runs.
 func (d *DB) Providers() []*privacy.Prefs {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]*privacy.Prefs, 0, len(d.providers))
-	for _, p := range d.providers {
-		out = append(out, p)
+	return d.populationLocked()
+}
+
+// populationLocked snapshots the provider set sorted by canonical key —
+// the one iteration order every assessment path shares, so float sums are
+// reproducible run to run.
+func (d *DB) populationLocked() []*privacy.Prefs {
+	keys := make([]string, 0, len(d.providers))
+	for k := range d.providers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*privacy.Prefs, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, d.providers[k])
 	}
 	return out
 }
@@ -247,6 +337,9 @@ func (d *DB) RemoveProvider(name string) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.providers, key)
+	if d.ledger != nil {
+		d.ledger.Remove(key)
+	}
 	removed := 0
 	for _, tm := range d.tables {
 		for id, meta := range tm.rows {
@@ -301,7 +394,10 @@ func (d *DB) TableLen(table string) int {
 
 // SetPolicy swaps the house policy, measuring the before/after population
 // impact and appending to the policy log. The returned what-if deltas let
-// callers decide whether to notify providers.
+// callers decide whether to notify providers. With the ledger enabled the
+// "before" numbers are read from the running aggregates in O(1) and the
+// swap triggers one cold rebuild across a bounded worker pool; the
+// fallback path recomputes both sides over the sorted population.
 func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	if next == nil {
 		return PolicyChange{}, fmt.Errorf("ppdb: nil policy")
@@ -311,27 +407,31 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	pop := make([]*privacy.Prefs, 0, len(d.providers))
-	for _, p := range d.providers {
-		pop = append(pop, p)
-	}
-	before, err := core.NewAssessor(d.policy, d.attrSens, d.opts)
-	if err != nil {
-		return PolicyChange{}, err
-	}
 	after, err := core.NewAssessor(next, d.attrSens, d.opts)
 	if err != nil {
 		return PolicyChange{}, err
 	}
-	bRep := before.AssessPopulation(pop)
-	aRep := after.AssessPopulation(pop)
 	change := PolicyChange{
-		At:            d.now,
-		From:          d.policy.Name,
-		To:            next.Name,
-		DeltaPW:       aRep.PW - bRep.PW,
-		DeltaPDefault: aRep.PDefault - bRep.PDefault,
+		At:   d.now,
+		From: d.policy.Name,
+		To:   next.Name,
 	}
+	if d.ledger != nil {
+		before := d.ledger.Summary()
+		d.policyVersion++
+		d.ledger.Rebuild(after, d.policyVersion)
+		afterSum := d.ledger.Summary()
+		change.DeltaPW = afterSum.PW - before.PW
+		change.DeltaPDefault = afterSum.PDefault - before.PDefault
+	} else {
+		d.policyVersion++
+		pop := d.populationLocked()
+		bRep := d.assessor.AssessPopulation(pop)
+		aRep := after.AssessPopulation(pop)
+		change.DeltaPW = aRep.PW - bRep.PW
+		change.DeltaPDefault = aRep.PDefault - bRep.PDefault
+	}
+	d.assessor = after
 	d.policy = next
 	d.policyLog = append(d.policyLog, change)
 	return change, nil

@@ -85,18 +85,22 @@ func (d *DB) UpdateOwnRow(provider, table string, id relational.RowID, row relat
 // SelfAudit returns the provider's personal violation report against the
 // current policy — w_i, Violation_i, default_i and every conflicting tuple
 // pair — the "continuously monitor the state of their privacy" capability.
+// With the ledger enabled the memoized row is returned in O(1); the
+// fallback re-assesses with the cached assessor.
 func (d *DB) SelfAudit(provider string) (core.ProviderReport, error) {
 	key := strings.ToLower(provider)
 	d.mu.RLock()
 	prefs, ok := d.providers[key]
-	policy := d.policy
+	assessor := d.assessor
+	if ok && d.ledger != nil {
+		if rep, hit := d.ledger.Report(key); hit {
+			d.mu.RUnlock()
+			return rep, nil
+		}
+	}
 	d.mu.RUnlock()
 	if !ok {
 		return core.ProviderReport{}, fmt.Errorf("ppdb: provider %q is not registered", provider)
-	}
-	assessor, err := core.NewAssessor(policy, d.attrSens, d.opts)
-	if err != nil {
-		return core.ProviderReport{}, err
 	}
 	return assessor.AssessProvider(prefs), nil
 }

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Certification benchmark harness: runs BenchmarkCertifyCold /
+# BenchmarkCertifyIncremental / BenchmarkCertifySummary (see bench_test.go)
+# and records ns/op plus the cold→incremental speedup per population size
+# into BENCH_certify.json at the repo root. Wired as `make bench`; not part
+# of `make check`.
+#
+# BENCHTIME overrides -benchtime (e.g. BENCHTIME=10x for a quick smoke run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench '^BenchmarkCertify(Cold|Incremental|Summary)' \
+	-benchtime "${BENCHTIME:-1s}" -benchmem -timeout 30m .)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+/^BenchmarkCertify/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	names[++n] = name
+	vals[name] = $3
+}
+END {
+	printf "{\n  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", \
+			names[i], vals[names[i]], (i < n ? "," : "")
+	}
+	printf "  ],\n  \"speedup_cold_over_incremental\": {"
+	sep = ""
+	for (i = 1; i <= n; i++) {
+		if (names[i] ~ /Cold\//) {
+			size = names[i]; sub(/.*\//, "", size)
+			inc = "BenchmarkCertifyIncremental/" size
+			if (inc in vals && vals[inc] + 0 > 0) {
+				printf "%s\"%s\": %.2f", sep, size, vals[names[i]] / vals[inc]
+				sep = ", "
+			}
+		}
+	}
+	printf "}\n}\n"
+}' > BENCH_certify.json
+
+echo "wrote BENCH_certify.json"

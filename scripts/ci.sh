@@ -8,4 +8,4 @@ set -eu
 cd "$(dirname "$0")/.."
 
 make check
-go test -race ./internal/ppdb/... ./internal/relational/...
+go test -race ./internal/ledger/... ./internal/ppdb/... ./internal/relational/...
