@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint check ci test race bench bench-all experiments cover
+.PHONY: all build vet lint check ci test race faults bench bench-all experiments cover
 
 all: build vet test
 
@@ -32,6 +32,14 @@ test:
 
 race:
 	go test -race ./...
+
+# faults runs the crash-matrix and fault-injection tests (DESIGN.md §9):
+# every persist injection site crashed in turn, handler panic recovery,
+# load shedding, graceful drain. A focused subset of `make test` for the
+# durability edit loop; scripts/ci.sh runs it as its own gate.
+faults:
+	go test -run 'Crash|Fault|Panic|Injected|Shed|Drain|Snapshot|Corrupted|Generation|Health' \
+		./internal/fault/... ./internal/ppdb/... ./internal/httpapi/... ./cmd/ppdbserver/... .
 
 # bench runs the certification benches and records BENCH_certify.json
 # (cold vs incremental ledger certification). Not part of `make check`.

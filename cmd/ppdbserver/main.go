@@ -11,15 +11,28 @@
 //
 //	curl -X POST localhost:8080/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
 //	curl localhost:8080/certify?alpha=0.1
+//	curl localhost:8080/healthz
+//
+// Lifecycle: the listener runs under an http.Server with read/write/idle
+// timeouts; SIGINT/SIGTERM flips /readyz to 503, drains in-flight requests
+// for up to -drain-timeout, writes a final snapshot (when a snapshot
+// directory is configured) and exits cleanly. -snapshot-interval persists
+// the database periodically through ppdb.Save's crash-safe atomic path, so
+// a `ppdbserver -load <dir>` restart always finds a verifiable generation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/httpapi"
 	"repro/internal/policydsl"
@@ -34,34 +47,106 @@ func main() {
 	key := flag.String("key", "provider", "provider-identity column (TEXT PRIMARY KEY)")
 	cols := flag.String("cols", "", "comma-separated FLOAT data columns")
 	addr := flag.String("addr", ":8080", "listen address")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for periodic/final snapshots (defaults to the -load directory)")
+	snapshotEvery := flag.Duration("snapshot-interval", 0, "persist a snapshot this often (0 disables periodic snapshots)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
-	var srv http.Handler
+	var db *ppdb.DB
 	var err error
 	if *load != "" {
-		srv, err = buildFromState(*load)
+		db, err = ppdb.Load(*load, ppdb.Config{})
+		if *snapshotDir == "" {
+			*snapshotDir = *load
+		}
 	} else {
-		srv, err = build(*corpus, *table, *key, *cols)
+		db, err = build(*corpus, *table, *key, *cols)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("ppdbserver listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
-}
-
-// buildFromState boots the server from a ppdb.Save directory.
-func buildFromState(dir string) (http.Handler, error) {
-	db, err := ppdb.Load(dir, ppdb.Config{})
-	if err != nil {
-		return nil, err
+	if *snapshotEvery > 0 && *snapshotDir == "" {
+		fmt.Fprintln(os.Stderr, "ppdbserver: -snapshot-interval needs -snapshot-dir (or -load)")
+		os.Exit(1)
 	}
-	return httpapi.New(db)
+	api, err := httpapi.New(db)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("ppdbserver listening on %s", ln.Addr())
+	if err := serve(ln, api, db, *snapshotDir, *snapshotEvery, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-// build assembles the PPDB and handler from the flags.
-func build(corpusPath, table, key, cols string) (http.Handler, error) {
+// serve runs the hardened lifecycle on an already-bound listener: an
+// http.Server with conservative timeouts, an optional periodic snapshot
+// loop, and a SIGINT/SIGTERM graceful drain. It returns nil on a clean
+// drained shutdown.
+func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, every, drainTimeout time.Duration) error {
+	srv := &http.Server{
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	var snapC <-chan time.Time
+	if every > 0 && snapDir != "" {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		snapC = ticker.C
+	}
+	for {
+		select {
+		case <-snapC:
+			if err := db.Save(snapDir); err != nil {
+				log.Printf("ppdbserver: periodic snapshot: %v", err)
+			}
+		case err := <-errc:
+			// The listener died under us (Serve never returns nil, and
+			// nothing else calls Shutdown): surface it.
+			return err
+		case <-ctx.Done():
+			stop() // a second signal now kills the process the default way
+			log.Printf("ppdbserver: shutdown signal; draining for up to %s", drainTimeout)
+			api.SetReady(false)
+			sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			err := srv.Shutdown(sctx)
+			if snapDir != "" {
+				if serr := db.Save(snapDir); serr != nil {
+					log.Printf("ppdbserver: final snapshot: %v", serr)
+				} else {
+					log.Printf("ppdbserver: final snapshot written to %s", snapDir)
+				}
+			}
+			<-errc // reap the Serve goroutine (http.ErrServerClosed)
+			if err != nil {
+				return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
+			}
+			log.Printf("ppdbserver: drained, exiting")
+			return nil
+		}
+	}
+}
+
+// build assembles the PPDB from the flags.
+func build(corpusPath, table, key, cols string) (*ppdb.DB, error) {
 	if corpusPath == "" {
 		return nil, fmt.Errorf("-corpus is required")
 	}
@@ -100,5 +185,5 @@ func build(corpusPath, table, key, cols string) (http.Handler, error) {
 			return nil, err
 		}
 	}
-	return httpapi.New(db)
+	return db, nil
 }

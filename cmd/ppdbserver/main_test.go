@@ -1,17 +1,29 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/ppdb"
 )
 
 func TestBuildAndServe(t *testing.T) {
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	h, err := build(corpus, "records", "provider", "weight,condition")
+	db, err := build(corpus, "records", "provider", "weight,condition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := httpapi.New(db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,17 +72,186 @@ func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
 
-func TestBuildFromState(t *testing.T) {
-	// Boot a corpus server, then round-trip through a state directory: the
-	// integration-level Save path is exercised in internal/ppdb, here we
-	// just verify a saved directory boots.
+func TestLoadBoot(t *testing.T) {
+	// Save a built DB and boot from the snapshot directory, as
+	// `ppdbserver -load` does; an empty directory must fail.
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	h, err := build(corpus, "records", "provider", "weight")
+	db, err := build(corpus, "records", "provider", "weight")
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = h
-	if _, err := buildFromState(t.TempDir()); err == nil {
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ppdb.Load(dir, ppdb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Providers()) != len(db.Providers()) {
+		t.Errorf("providers = %d, want %d", len(db2.Providers()), len(db.Providers()))
+	}
+	if _, err := ppdb.Load(t.TempDir(), ppdb.Config{}); err == nil {
 		t.Error("empty state dir should fail")
+	}
+}
+
+// TestServeGracefulDrain proves the acceptance criterion: SIGTERM flips
+// readiness, drains the in-flight request to completion, writes a final
+// snapshot and returns nil. The in-flight request is held open by feeding
+// its body one half at a time over a raw connection.
+func TestServeGracefulDrain(t *testing.T) {
+	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	db, err := build(corpus, "records", "provider", "weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := httpapi.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(t.TempDir(), "snap")
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, api, db, snapDir, 0, 5*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	// Open the in-flight request: headers plus half the body, so the
+	// handler is parked mid-read when the signal lands.
+	body := `{"purpose":"care","visibility":2,"sql":"SELECT weight FROM records"}`
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "POST /query HTTP/1.1\r\nHost: ppdb\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		len(body), body[:len(body)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the server route the request
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// While draining, readiness is down but the listener still answers.
+	waitDraining(t, base)
+
+	// Complete the in-flight request: it must be served, not cut off.
+	if _, err := io.WriteString(conn, body[len(body)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("reading drained response: %v", err)
+	}
+	if !strings.Contains(string(resp), "200 OK") {
+		t.Errorf("in-flight request was not drained: %s", resp)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after SIGTERM")
+	}
+	// The final snapshot landed and is loadable.
+	if _, err := ppdb.Load(snapDir, ppdb.Config{}); err != nil {
+		t.Errorf("final snapshot unusable: %v", err)
+	}
+}
+
+// TestServePeriodicSnapshot checks the -snapshot-interval loop persists
+// without any signal involved.
+func TestServePeriodicSnapshot(t *testing.T) {
+	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	db, err := build(corpus, "records", "provider", "weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := httpapi.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(t.TempDir(), "snap")
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, api, db, snapDir, 30*time.Millisecond, 5*time.Second) }()
+	waitHealthy(t, "http://"+ln.Addr().String())
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(snapDir, "MANIFEST.json")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic snapshot appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after SIGTERM")
+	}
+	if _, err := ppdb.Load(snapDir, ppdb.Config{}); err != nil {
+		t.Errorf("periodic snapshot unusable: %v", err)
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitDraining(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				return
+			}
+		}
+		// The listener may already be closed to new connections; that is
+		// also evidence the drain began.
+		if err != nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,14 +1,19 @@
 package repro_test
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/economics"
+	"repro/internal/fault"
 	"repro/internal/generalize"
+	"repro/internal/httpapi"
 	"repro/internal/policydsl"
 	"repro/internal/population"
 	"repro/internal/ppdb"
@@ -265,5 +270,80 @@ func TestAssessorAgreesWithPPDBCertify(t *testing.T) {
 	if cert.Report.PW != direct.PW || cert.Report.PDefault != direct.PDefault ||
 		cert.Report.TotalViolations != direct.TotalViolations {
 		t.Errorf("paths disagree: core %+v vs ppdb %+v", direct, cert.Report)
+	}
+}
+
+// TestEndToEndCrashRecovery drives the durability layer through the whole
+// stack: certify a PPDB, snapshot it, crash a subsequent save mid-rotation
+// (via internal/fault), reload from the surviving generation, and serve
+// the recovered database over the hardened HTTP layer.
+func TestEndToEndCrashRecovery(t *testing.T) {
+	defer fault.Reset()
+	src, err := os.ReadFile("examples/corpus/clinic.dsl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := policydsl.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ppdb.New(ppdb.Config{Policy: doc.Policy, AttrSens: doc.AttrSens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range doc.Providers {
+		if err := db.RegisterProvider(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	certBefore, err := db.Certify(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next save dies between retiring the old generation and
+	// publishing the new one — the worst crash window.
+	if _, err := db.Advance(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	fault.ArmCrash("persist.rename.live")
+	if err := db.Save(dir); !fault.IsCrash(err) {
+		t.Fatalf("armed save returned %v, want simulated crash", err)
+	}
+	fault.Reset()
+
+	db2, err := ppdb.Load(dir, ppdb.Config{})
+	if err != nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	certAfter, err := db2.Certify(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certAfter.Report.PW != certBefore.Report.PW ||
+		certAfter.Report.TotalViolations != certBefore.Report.TotalViolations {
+		t.Errorf("recovered certification %+v != pre-crash %+v", certAfter.Report, certBefore.Report)
+	}
+
+	// The recovered DB serves traffic through the hardened handler.
+	api, err := httpapi.New(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz after recovery = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/certify/summary?alpha=0.5", nil)
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "IsAlphaPPDB") {
+		t.Errorf("certify after recovery = %d %s", rec.Code, rec.Body)
 	}
 }

@@ -54,3 +54,41 @@ func Deliberate() {
 	//lint:ignore errflow fixture: best-effort cache warm-up, failure is benign
 	touch()
 }
+
+// file mirrors the fsync-discipline surface of the ppdb persist layer:
+// durability rests entirely on Sync/Close/rename errors being observed.
+type file struct{}
+
+func (file) Sync() error  { return nil }
+func (file) Close() error { return nil }
+
+func rename(from, to string) error { return nil }
+
+// SyncDropped fires and forgets the fsync that makes a snapshot durable:
+// flagged.
+func SyncDropped(f file) {
+	f.Sync() // want "discarded"
+}
+
+// CloseInDefer drops a deferred Close error — on write-then-close, the
+// close is where NFS and full disks report failure: flagged.
+func CloseInDefer(f file) {
+	defer f.Close() // want "discarded"
+}
+
+// RotateDropped loses a rename mid generation-rotation: flagged.
+func RotateDropped() {
+	rename("snap.tmp", "snap") // want "discarded"
+}
+
+// RotateBlank sends the rotation error to _: flagged.
+func RotateBlank() {
+	_ = rename("snap", "snap.prev") // want "assigned to _"
+}
+
+// BestEffortCleanup documents the one legitimate drop in the persist
+// paths: clearing staging debris after the save has already failed.
+func BestEffortCleanup() {
+	//lint:ignore errflow fixture: staging cleanup after a failed save is best-effort
+	rename("snap.tmp", "gone")
+}

@@ -1,0 +1,189 @@
+// Package fault is a deterministic fault-injection registry for tests.
+//
+// Production code marks the places where the outside world can fail —
+// a write, a sync, a rename, a handler entry — with a named injection
+// site:
+//
+//	if err := fault.Point("persist.write.state.json"); err != nil { ... }
+//
+// Tests arm a site to return an error (ArmError), panic (ArmPanic), or
+// simulate a hard crash (ArmCrash) and then drive the code under test
+// through it. Sites are global process state (one registry per binary),
+// so tests that arm anything must `defer fault.Reset()` and must not run
+// in parallel with each other.
+//
+// When nothing is armed and tracing is off, Point is a single atomic
+// load — the registry costs nothing in production.
+//
+// Crash semantics. A simulated crash models the process dying at that
+// instant: the armed Point returns an error satisfying IsCrash, and the
+// call site must abort immediately *without cleanup*, leaving whatever
+// partial state exists on disk exactly as a real crash would. Writers
+// additionally leave a torn file behind (see ppdb's persist layer), so
+// recovery is exercised against genuine debris rather than a clean
+// absence.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects what an armed injection site does when execution reaches it.
+type Mode int
+
+const (
+	// ModeError makes Point return the armed error.
+	ModeError Mode = iota
+	// ModePanic makes Point panic with a message naming the site.
+	ModePanic
+	// ModeCrash makes Point return an error satisfying IsCrash; the call
+	// site aborts without cleanup, simulating the process dying there.
+	ModeCrash
+)
+
+// ErrInjected is the error ArmError installs when given a nil error.
+var ErrInjected = errors.New("fault: injected error")
+
+// crashError marks a simulated hard crash at a site.
+type crashError struct{ site string }
+
+func (e *crashError) Error() string { return "fault: simulated crash at " + e.site }
+
+// IsCrash reports whether err (anywhere in its chain) is a simulated
+// hard crash from an armed site.
+func IsCrash(err error) bool {
+	var ce *crashError
+	return errors.As(err, &ce)
+}
+
+type arming struct {
+	mode Mode
+	err  error
+}
+
+var (
+	// active counts armed sites, plus one while tracing, so the disarmed
+	// fast path in Point is a single atomic load with no lock.
+	active atomic.Int32
+
+	mu      sync.Mutex
+	armed   = map[string]arming{}
+	tracing bool
+	trace   []string
+	seen    map[string]bool
+)
+
+// Point is the injection hook production code places at a failure site.
+// It returns nil unless the named site is armed: the site's error for
+// ModeError, a crash error (IsCrash == true) for ModeCrash; for ModePanic
+// it panics. While tracing, every distinct site reached is recorded.
+func Point(name string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	return point(name)
+}
+
+func point(name string) error {
+	mu.Lock()
+	if tracing && !seen[name] {
+		seen[name] = true
+		trace = append(trace, name)
+	}
+	a, ok := armed[name]
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	switch a.mode {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case ModeCrash:
+		return &crashError{site: name}
+	default:
+		return a.err
+	}
+}
+
+func arm(name string, a arming) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := armed[name]; !ok {
+		active.Add(1)
+	}
+	armed[name] = a
+}
+
+// ArmError makes Point(name) return err (ErrInjected if err is nil).
+func ArmError(name string, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	arm(name, arming{mode: ModeError, err: err})
+}
+
+// ArmPanic makes Point(name) panic.
+func ArmPanic(name string) { arm(name, arming{mode: ModePanic}) }
+
+// ArmCrash makes Point(name) return a simulated-crash error (IsCrash).
+func ArmCrash(name string) { arm(name, arming{mode: ModeCrash}) }
+
+// Disarm removes the arming for one site; unknown names are a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := armed[name]; ok {
+		delete(armed, name)
+		active.Add(-1)
+	}
+}
+
+// Armed reports whether the named site is currently armed.
+func Armed(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := armed[name]
+	return ok
+}
+
+// Reset disarms every site and stops tracing — the mandatory deferred
+// cleanup for any test that arms or traces.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = map[string]arming{}
+	tracing = false
+	trace, seen = nil, nil
+	active.Store(0)
+}
+
+// StartTrace begins recording the name of every injection site execution
+// reaches, in first-hit order. Tests use a traced clean run to enumerate
+// the sites a code path owns, then re-run it with each site armed in turn
+// — the crash matrix stays exhaustive as sites are added.
+func StartTrace() {
+	mu.Lock()
+	defer mu.Unlock()
+	if !tracing {
+		tracing = true
+		active.Add(1)
+	}
+	trace, seen = nil, map[string]bool{}
+}
+
+// StopTrace ends tracing and returns the distinct sites reached, in
+// first-hit order.
+func StopTrace() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	if tracing {
+		tracing = false
+		active.Add(-1)
+	}
+	out := trace
+	trace, seen = nil, nil
+	return out
+}

@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFaultDisarmedIsNil(t *testing.T) {
+	defer Reset()
+	if err := Point("never.armed"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+}
+
+func TestFaultArmError(t *testing.T) {
+	defer Reset()
+	ArmError("site.a", nil)
+	if err := Point("site.a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("default arm = %v, want ErrInjected", err)
+	}
+	custom := errors.New("disk on fire")
+	ArmError("site.a", custom)
+	if err := Point("site.a"); !errors.Is(err, custom) {
+		t.Errorf("custom arm = %v", err)
+	}
+	// Other sites are unaffected.
+	if err := Point("site.b"); err != nil {
+		t.Errorf("unarmed sibling = %v", err)
+	}
+	Disarm("site.a")
+	if err := Point("site.a"); err != nil {
+		t.Errorf("after disarm = %v", err)
+	}
+}
+
+func TestFaultArmPanic(t *testing.T) {
+	defer Reset()
+	ArmPanic("site.p")
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("armed panic site did not panic")
+		}
+		if s, ok := rec.(string); !ok || !strings.Contains(s, "site.p") {
+			t.Errorf("panic value = %v, want the site name", rec)
+		}
+	}()
+	//lint:ignore errflow the call panics; there is no error to receive
+	Point("site.p")
+}
+
+func TestFaultArmCrash(t *testing.T) {
+	defer Reset()
+	ArmCrash("site.c")
+	err := Point("site.c")
+	if !IsCrash(err) {
+		t.Fatalf("crash arm = %v, want IsCrash", err)
+	}
+	if !strings.Contains(err.Error(), "site.c") {
+		t.Errorf("crash error %q does not name the site", err)
+	}
+	// A wrapped crash is still a crash; ordinary errors are not.
+	if !IsCrash(fmt.Errorf("save: %w", err)) {
+		t.Error("wrapped crash not detected")
+	}
+	if IsCrash(errors.New("plain")) || IsCrash(nil) {
+		t.Error("IsCrash misfires on non-crash errors")
+	}
+}
+
+func TestFaultTrace(t *testing.T) {
+	defer Reset()
+	StartTrace()
+	for _, name := range []string{"t.one", "t.two", "t.one", "t.three"} {
+		if err := Point(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := StopTrace()
+	want := []string{"t.one", "t.two", "t.three"}
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", got, want)
+		}
+	}
+	// Tracing stopped: nothing more is recorded.
+	if err := Point("t.four"); err != nil {
+		t.Fatal(err)
+	}
+	if again := StopTrace(); len(again) != 0 {
+		t.Errorf("after stop, trace = %v", again)
+	}
+}
+
+func TestFaultReset(t *testing.T) {
+	defer Reset()
+	ArmError("r.a", nil)
+	ArmCrash("r.b")
+	StartTrace()
+	Reset()
+	if Armed("r.a") || Armed("r.b") {
+		t.Error("Reset left sites armed")
+	}
+	if err := Point("r.a"); err != nil {
+		t.Errorf("after reset = %v", err)
+	}
+	if trace := StopTrace(); len(trace) != 0 {
+		t.Errorf("after reset, trace = %v", trace)
+	}
+}
+
+// TestFaultConcurrency drives arms, disarms and hits from many goroutines;
+// the -race pass over this package is part of CI.
+func TestFaultConcurrency(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc.%d", g%4)
+			for i := 0; i < 200; i++ {
+				ArmError(name, nil)
+				//lint:ignore errflow exercising the hit path; the value is irrelevant here
+				Point(name)
+				Disarm(name)
+				//lint:ignore errflow exercising the disarmed fast path
+				Point(name)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

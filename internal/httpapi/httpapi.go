@@ -12,10 +12,19 @@
 //	POST /load?table=T   CSV body with a header row        → rows loaded
 //	GET  /self/audit?provider=N                            → personal violation report
 //	GET  /self/data?provider=N                             → the provider's own rows
+//	GET  /healthz                                          → liveness probe
+//	GET  /readyz                                           → readiness probe (503 while draining)
 //
 // Every response is JSON; policy and preference uploads use the policydsl
 // text format (Content-Type is not enforced). Denied queries return 403
-// with the denial reason, parse errors 400.
+// with the denial reason, parse errors 400, over-limit bodies 413.
+//
+// Lifecycle hardening (DESIGN.md §9): every request passes through a
+// panic-recovery wrapper (a handler panic is logged with its stack and
+// answered with a JSON 500; the server keeps serving) and an in-flight
+// cap that sheds excess load with a JSON 503 + Retry-After rather than
+// letting a pile-up take the process down. /healthz and /readyz bypass
+// the cap so a saturated server still answers its load balancer.
 package httpapi
 
 import (
@@ -23,26 +32,63 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/policydsl"
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
 )
 
-// Server wraps a PPDB with an http.Handler.
-type Server struct {
-	db  *ppdb.DB
-	mux *http.ServeMux
+// DefaultMaxInFlight is the in-flight request cap used when Options does
+// not set one.
+const DefaultMaxInFlight = 1024
+
+// Options tunes the hardening knobs. The zero value is production-ready.
+type Options struct {
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// shed immediately with a JSON 503. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// Logger receives panic reports; nil means log.Default().
+	Logger *log.Logger
 }
 
-// New builds the handler around an existing PPDB.
+// Server wraps a PPDB with an http.Handler.
+type Server struct {
+	db       *ppdb.DB
+	mux      *http.ServeMux
+	logger   *log.Logger
+	inflight chan struct{} // semaphore: one slot per in-flight request
+	ready    atomic.Bool
+}
+
+// New builds the handler around an existing PPDB with default Options.
 func New(db *ppdb.DB) (*Server, error) {
+	return NewWith(db, Options{})
+}
+
+// NewWith builds the handler with explicit hardening options.
+func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 	if db == nil {
 		return nil, fmt.Errorf("httpapi: nil database")
 	}
-	s := &Server{db: db, mux: http.NewServeMux()}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
+	s := &Server{
+		db:       db,
+		mux:      http.NewServeMux(),
+		logger:   opts.Logger,
+		inflight: make(chan struct{}, opts.MaxInFlight),
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/certify", s.handleCertify)
 	s.mux.HandleFunc("/certify/summary", s.handleCertifySummary)
@@ -53,11 +99,47 @@ func New(db *ppdb.DB) (*Server, error) {
 	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/self/audit", s.handleSelfAudit)
 	s.mux.HandleFunc("/self/data", s.handleSelfData)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.ready.Store(true)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// SetReady flips the /readyz verdict. The server main drops readiness
+// before draining so load balancers stop routing new work here while
+// in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// ServeHTTP implements http.Handler: probe bypass, load shedding, panic
+// recovery, then the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry shortly"))
+		return
+	}
+	defer func() { <-s.inflight }()
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.logger.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote a status line this
+			// changes nothing on the wire, but the process keeps serving.
+			writeErr(w, http.StatusInternalServerError, errors.New("internal server error"))
+		}
+	}()
+	if err := fault.Point("httpapi.handler"); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -79,12 +161,45 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// writeBodyErr maps a request-body read failure to a status: an over-limit
+// body (http.MaxBytesReader tripped) is a 413 naming the limit, anything
+// else a 400.
+func writeBodyErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
 func methodCheck(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
 		return false
 	}
 	return true
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while accepting work, 503 once
+// the server has begun draining (SetReady(false)).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // QueryRequest is the POST /query body.
@@ -136,13 +251,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// alphaParam parses ?alpha=, defaulting to 0.1.
+// alphaParam parses ?alpha=, defaulting to 0.1. The parsed value must be a
+// finite number in [0, 1]: NaN, ±Inf and out-of-range values are rejected
+// here with a 400 rather than reaching certification — a NaN α compares
+// false against everything, which would silently fail every verdict.
 func alphaParam(r *http.Request) (float64, error) {
 	alpha := 0.1
 	if q := r.URL.Query().Get("alpha"); q != "" {
 		v, err := strconv.ParseFloat(q, 64)
 		if err != nil {
 			return 0, fmt.Errorf("bad alpha %q", q)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			return 0, fmt.Errorf("alpha %q must be a finite number in [0, 1]", q)
 		}
 		alpha = v
 	}
@@ -196,7 +317,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPut:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeBodyErr(w, err)
 			return
 		}
 		doc, err := policydsl.Parse(string(body))
@@ -230,7 +351,7 @@ func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeBodyErr(w, err)
 			return
 		}
 		doc, err := policydsl.Parse(string(body))
@@ -326,7 +447,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.db.ImportCSV(table, http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBodyErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"loaded": n})

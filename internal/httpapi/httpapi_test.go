@@ -2,11 +2,17 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
 	"repro/internal/relational"
@@ -300,4 +306,195 @@ func TestSelfServiceEndpoints(t *testing.T) {
 	if rec := do(t, srv, http.MethodPost, "/self/audit?provider=maria", ""); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST self audit = %d", rec.Code)
 	}
+}
+
+// --- lifecycle hardening ---
+
+func TestHealthEndpoints(t *testing.T) {
+	srv := testServer(t)
+	if rec := do(t, srv, http.MethodGet, "/healthz", ""); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Errorf("healthz = %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, srv, http.MethodGet, "/readyz", ""); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"ready"`) {
+		t.Errorf("readyz = %d %s", rec.Code, rec.Body)
+	}
+	srv.SetReady(false)
+	if rec := do(t, srv, http.MethodGet, "/readyz", ""); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), `"draining"`) {
+		t.Errorf("draining readyz = %d %s", rec.Code, rec.Body)
+	}
+	srv.SetReady(true)
+	if rec := do(t, srv, http.MethodGet, "/readyz", ""); rec.Code != http.StatusOK {
+		t.Errorf("re-readied readyz = %d", rec.Code)
+	}
+	if rec := do(t, srv, http.MethodPost, "/healthz", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d", rec.Code)
+	}
+}
+
+// TestPanicRecovery is the acceptance criterion: a handler panic (injected
+// via internal/fault) yields a JSON 500 and the server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	defer fault.Reset()
+	var logged strings.Builder
+	db := testServer(t).db
+	srv, err := NewWith(db, Options{Logger: log.New(&logged, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.ArmPanic("httpapi.handler")
+	rec := do(t, srv, http.MethodGet, "/certify?alpha=0.5", "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Errorf("panic response is not the JSON error envelope: %s", rec.Body)
+	}
+	if !strings.Contains(logged.String(), "httpapi.handler") || !strings.Contains(logged.String(), "goroutine") {
+		t.Errorf("panic log missing site or stack: %q", logged.String())
+	}
+	// The server keeps serving once the fault is disarmed.
+	fault.Reset()
+	if rec := do(t, srv, http.MethodGet, "/certify?alpha=0.5", ""); rec.Code != http.StatusOK {
+		t.Errorf("after panic, certify = %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestInjectedHandlerError(t *testing.T) {
+	defer fault.Reset()
+	srv := testServer(t)
+	fault.ArmError("httpapi.handler", nil)
+	if rec := do(t, srv, http.MethodGet, "/certify", ""); rec.Code != http.StatusInternalServerError {
+		t.Errorf("injected error = %d %s", rec.Code, rec.Body)
+	}
+	fault.Reset()
+	if rec := do(t, srv, http.MethodGet, "/certify", ""); rec.Code != http.StatusOK {
+		t.Errorf("after reset = %d", rec.Code)
+	}
+}
+
+// TestLoadShedding caps in-flight requests at one, parks a request inside
+// the handler by withholding half its body, and checks the next request is
+// shed with a JSON 503 — while /healthz still answers.
+func TestLoadShedding(t *testing.T) {
+	db := testServer(t).db
+	srv, err := NewWith(db, Options{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := `{"purpose":"care","visibility":2,"sql":"SELECT weight FROM t"}`
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body[:len(body)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The parked request occupies the only slot; a second request must be
+	// shed. Poll briefly: the first request needs to reach ServeHTTP.
+	deadline := time.Now().Add(5 * time.Second)
+	shed := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/certify?alpha=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(string(payload), "capacity") || resp.Header.Get("Retry-After") == "" {
+				t.Errorf("shed response missing envelope or Retry-After: %s", payload)
+			}
+			shed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !shed {
+		t.Fatal("server never shed load with the only slot occupied")
+	}
+	// Probes bypass the cap.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under load = %d", resp.StatusCode)
+	}
+	// Release the parked request; the slot frees and service resumes.
+	if _, err := io.WriteString(conn, body[len(body)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/certify?alpha=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after the parked request completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAlphaValidation rejects NaN, ±Inf and out-of-range α with a 400 on
+// both certification endpoints.
+func TestAlphaValidation(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{"/certify", "/certify/summary"} {
+		for _, alpha := range []string{"NaN", "nan", "+Inf", "-Inf", "Infinity", "-0.1", "1.5", "1e300"} {
+			rec := do(t, srv, http.MethodGet, path+"?alpha="+alpha, "")
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("%s?alpha=%s = %d, want 400 (%s)", path, alpha, rec.Code, rec.Body)
+			}
+		}
+		// The boundary values are legal.
+		for _, alpha := range []string{"0", "1", "0.25"} {
+			rec := do(t, srv, http.MethodGet, path+"?alpha="+alpha, "")
+			if rec.Code != http.StatusOK {
+				t.Errorf("%s?alpha=%s = %d, want 200 (%s)", path, alpha, rec.Code, rec.Body)
+			}
+		}
+	}
+}
+
+// TestOversizeBodies413 checks that tripping http.MaxBytesReader yields a
+// clean JSON 413 naming the limit, on every body-accepting endpoint.
+func TestOversizeBodies413(t *testing.T) {
+	srv := testServer(t)
+	check := func(method, path, body string) {
+		t.Helper()
+		rec := do(t, srv, method, path, body)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s %s = %d, want 413 (%.120s)", method, path, rec.Code, rec.Body)
+		}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil ||
+			!strings.Contains(envelope.Error, "exceeds") {
+			t.Errorf("%s %s 413 body not the JSON envelope: %s", method, path, rec.Body)
+		}
+	}
+	over1M := strings.Repeat("x", 1<<20+1)
+	check(http.MethodPut, "/policy", over1M)
+	check(http.MethodPost, "/providers", over1M)
+	check(http.MethodPost, "/load?table=t", "provider,weight\n"+strings.Repeat("x", 8<<20))
 }

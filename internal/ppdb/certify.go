@@ -2,6 +2,7 @@ package ppdb
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -136,9 +137,11 @@ func (d *DB) CertifySummary(alpha float64) (*CertificationSummary, error) {
 	}, nil
 }
 
-// checkAlpha validates the α threshold.
+// checkAlpha validates the α threshold. NaN needs its own test: both
+// range comparisons are false for it, and a NaN α would make every
+// IsAlphaPPDB verdict false while looking like a successful certification.
 func checkAlpha(alpha float64) error {
-	if alpha < 0 || alpha > 1 {
+	if math.IsNaN(alpha) || alpha < 0 || alpha > 1 {
 		return fmt.Errorf("ppdb: alpha %g must be in [0, 1]", alpha)
 	}
 	return nil

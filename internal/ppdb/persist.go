@@ -1,7 +1,9 @@
 package ppdb
 
 import (
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/policydsl"
 	"repro/internal/relational"
 )
@@ -23,11 +26,46 @@ import (
 //	tables/<t>.schema.sql CREATE TABLE statement
 //	tables/<t>.csv        rows (header + data)
 //	tables/<t>.meta.csv   per-row provenance (provider, inserted), row-aligned
+//	MANIFEST.json         format version + SHA-256 of every artifact above
 //
-// Load rebuilds a DB from such a directory; runtime-only configuration
-// (generalization hierarchies, retention schedule, assessor options) is
-// supplied by the caller's Config, whose Policy field is ignored in favour
-// of the saved one.
+// Crash safety (DESIGN.md §9): Save never touches the live snapshot in
+// place. It renders every artifact in memory, stages them into <dir>.tmp
+// (fsyncing each file and the staged directories), and only then rotates
+// generations: the current <dir> is renamed to <dir>.prev (replacing the
+// previous generation) and the staging directory is renamed over <dir>.
+// A crash at any instant therefore leaves at least one complete,
+// manifest-verifiable generation on disk.
+//
+// Load rebuilds a DB from such a directory. It verifies the manifest —
+// format version, presence and SHA-256 of every artifact — before parsing
+// a byte, rejects torn or corrupted snapshots with a diagnostic naming the
+// offending artifact, and falls back to <dir>.prev when <dir> is unusable.
+// Runtime-only configuration (generalization hierarchies, retention
+// schedule, assessor options) is supplied by the caller's Config, whose
+// Policy field is ignored in favour of the saved one.
+//
+// Failure sites in the save path are registered with internal/fault
+// ("persist.write.<artifact>", "persist.sync.dir", "persist.prune.prev",
+// "persist.rename.prev", "persist.rename.live", "persist.sync.parent");
+// the crash-matrix test arms each in turn and proves recovery.
+
+// FormatVersion is the snapshot format Save writes and Load accepts.
+const FormatVersion = 1
+
+const (
+	manifestName = "MANIFEST.json"
+	tmpSuffix    = ".tmp"
+	prevSuffix   = ".prev"
+)
+
+// manifestJSON indexes a snapshot generation: every artifact with its
+// SHA-256, so Load can prove the generation complete and untorn before
+// trusting any of it.
+type manifestJSON struct {
+	FormatVersion int               `json:"formatVersion"`
+	SavedAt       time.Time         `json:"savedAt"`
+	Files         map[string]string `json:"files"` // rel path → SHA-256 hex
+}
 
 // stateJSON is the serialized registry.
 type stateJSON struct {
@@ -39,15 +77,24 @@ type tableJSON struct {
 	ProviderCol string `json:"providerCol"`
 }
 
-// Save writes the database state into dir (created if absent). Existing
-// files are overwritten.
+// Save atomically replaces the snapshot at dir with the database's current
+// state, keeping the displaced generation at <dir>.prev. On error the
+// snapshot at dir (if any) is untouched.
 func (d *DB) Save(dir string) error {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-
-	if err := os.MkdirAll(filepath.Join(dir, "tables"), 0o755); err != nil {
-		return fmt.Errorf("ppdb: save: %w", err)
+	artifacts, savedAt, err := d.renderLocked()
+	d.mu.RUnlock()
+	if err != nil {
+		return err
 	}
+	return writeSnapshot(dir, artifacts, savedAt)
+}
+
+// renderLocked serializes the full state into artifact bytes keyed by
+// snapshot-relative path. Pure rendering — no IO — so the read lock is
+// held only as long as the state is being walked.
+func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
+	artifacts := map[string][]byte{}
 
 	// Corpus: policy + providers (+ Σ).
 	doc := &policydsl.Document{
@@ -63,12 +110,10 @@ func (d *DB) Save(dir string) error {
 	for _, n := range names {
 		doc.Providers = append(doc.Providers, d.providers[n])
 	}
-	if err := os.WriteFile(filepath.Join(dir, "corpus.dsl"), []byte(policydsl.Render(doc)), 0o644); err != nil {
-		return fmt.Errorf("ppdb: save corpus: %w", err)
-	}
+	artifacts["corpus.dsl"] = []byte(policydsl.Render(doc))
 
 	state := stateJSON{Now: d.now, Tables: map[string]tableJSON{}}
-	// Tables in sorted name order so the artifact writes are deterministic
+	// Tables in sorted name order so the artifact renders are deterministic
 	// run to run (map iteration order is not).
 	tableNames := make([]string, 0, len(d.tables))
 	for n := range d.tables {
@@ -80,14 +125,12 @@ func (d *DB) Save(dir string) error {
 		state.Tables[name] = tableJSON{ProviderCol: tm.providerCol}
 
 		schemaSQL := fmt.Sprintf("CREATE TABLE %s (%s)", name, tm.table.Schema())
-		if err := os.WriteFile(filepath.Join(dir, "tables", name+".schema.sql"), []byte(schemaSQL+"\n"), 0o644); err != nil {
-			return fmt.Errorf("ppdb: save schema %s: %w", name, err)
-		}
+		artifacts[filepath.Join("tables", name+".schema.sql")] = []byte(schemaSQL + "\n")
 
 		var dataBuf, metaBuf strings.Builder
 		metaWriter := csv.NewWriter(&metaBuf)
 		if err := metaWriter.Write([]string{"provider", "inserted"}); err != nil {
-			return err
+			return nil, time.Time{}, err
 		}
 		// Rows in scan (insertion) order so meta lines align.
 		var scanErr error
@@ -112,39 +155,236 @@ func (d *DB) Save(dir string) error {
 			return true
 		})
 		if scanErr != nil {
-			return scanErr
+			return nil, time.Time{}, scanErr
 		}
 		metaWriter.Flush()
 		if err := metaWriter.Error(); err != nil {
-			return err
+			return nil, time.Time{}, err
 		}
 		if err := relational.ExportCSV(rowsOut, &dataBuf); err != nil {
-			return fmt.Errorf("ppdb: save rows %s: %w", name, err)
+			return nil, time.Time{}, fmt.Errorf("ppdb: save rows %s: %w", name, err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, "tables", name+".csv"), []byte(dataBuf.String()), 0o644); err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(dir, "tables", name+".meta.csv"), []byte(metaBuf.String()), 0o644); err != nil {
-			return err
-		}
+		artifacts[filepath.Join("tables", name+".csv")] = []byte(dataBuf.String())
+		artifacts[filepath.Join("tables", name+".meta.csv")] = []byte(metaBuf.String())
 	}
 	stateBytes, err := json.MarshalIndent(state, "", "  ")
 	if err != nil {
+		return nil, time.Time{}, err
+	}
+	artifacts["state.json"] = append(stateBytes, '\n')
+	return artifacts, d.now, nil
+}
+
+// writeSnapshot stages the artifacts into <dir>.tmp, fsyncs everything,
+// then rotates generations: <dir> → <dir>.prev, <dir>.tmp → <dir>. A
+// simulated crash (fault.IsCrash) aborts with zero cleanup so tests see
+// exactly the debris a real crash would leave.
+func writeSnapshot(dir string, artifacts map[string][]byte, savedAt time.Time) (err error) {
+	tmp, prev := dir+tmpSuffix, dir+prevSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("ppdb: save: clear staging: %w", err)
+	}
+	defer func() {
+		if err != nil && !fault.IsCrash(err) {
+			// The save failed cleanly: tear down the staging debris. The
+			// live snapshot and previous generation are what matter.
+			//lint:ignore errflow best-effort staging cleanup after a failed save
+			os.RemoveAll(tmp)
+		}
+	}()
+	if err = os.MkdirAll(filepath.Join(tmp, "tables"), 0o755); err != nil {
+		return fmt.Errorf("ppdb: save: stage: %w", err)
+	}
+
+	man := manifestJSON{FormatVersion: FormatVersion, SavedAt: savedAt, Files: map[string]string{}}
+	rels := make([]string, 0, len(artifacts))
+	for rel := range artifacts {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		if err = writeArtifact(tmp, rel, artifacts[rel]); err != nil {
+			return err
+		}
+		sum := sha256.Sum256(artifacts[rel])
+		man.Files[rel] = hex.EncodeToString(sum[:])
+	}
+	manBytes, merr := json.MarshalIndent(man, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	if err = writeArtifact(tmp, manifestName, append(manBytes, '\n')); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "state.json"), append(stateBytes, '\n'), 0o644); err != nil {
-		return fmt.Errorf("ppdb: save state: %w", err)
+	if err = fault.Point("persist.sync.dir"); err != nil {
+		return err
+	}
+	if err = syncDirs(filepath.Join(tmp, "tables"), tmp); err != nil {
+		return err
+	}
+
+	// Rotation. Crash windows and their recovery:
+	//   before rename(dir, prev): dir is the intact old generation;
+	//   between the renames:      dir is gone, prev is the old generation
+	//                             — Load falls back to prev;
+	//   after rename(tmp, dir):   dir is the new generation, prev the old.
+	if _, statErr := os.Stat(dir); statErr == nil {
+		if err = fault.Point("persist.prune.prev"); err != nil {
+			return err
+		}
+		if err = os.RemoveAll(prev); err != nil {
+			return fmt.Errorf("ppdb: save: prune previous generation: %w", err)
+		}
+		if err = fault.Point("persist.rename.prev"); err != nil {
+			return err
+		}
+		if err = os.Rename(dir, prev); err != nil {
+			return fmt.Errorf("ppdb: save: retire current generation: %w", err)
+		}
+	}
+	if err = fault.Point("persist.rename.live"); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("ppdb: save: publish snapshot: %w", err)
+	}
+	if err = fault.Point("persist.sync.parent"); err != nil {
+		return err
+	}
+	return syncDirs(filepath.Dir(dir))
+}
+
+// writeArtifact writes one staged file and fsyncs it. A simulated crash at
+// the site leaves a torn file — half the bytes — so recovery is tested
+// against real debris.
+func writeArtifact(root, rel string, data []byte) error {
+	path := filepath.Join(root, rel)
+	if err := fault.Point("persist.write." + rel); err != nil {
+		if fault.IsCrash(err) {
+			//lint:ignore errflow simulating a torn write; the crash error is what propagates
+			os.WriteFile(path, data[:len(data)/2], 0o644)
+		}
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ppdb: save %s: %w", rel, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		//lint:ignore errflow the write error is the diagnosis; close is cleanup
+		f.Close()
+		return fmt.Errorf("ppdb: save %s: %w", rel, err)
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errflow the sync error is the diagnosis; close is cleanup
+		f.Close()
+		return fmt.Errorf("ppdb: sync %s: %w", rel, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ppdb: close %s: %w", rel, err)
 	}
 	return nil
 }
 
-// Load rebuilds a DB from a directory written by Save. cfg supplies the
-// runtime-only configuration (hierarchies, retention, options, scales); its
-// Policy and Start fields are ignored — the saved policy and clock win.
+// syncDirs fsyncs directories so the staged entries (and later the rename)
+// are durable, not just the file contents.
+func syncDirs(dirs ...string) error {
+	for _, dir := range dirs {
+		f, err := os.Open(dir)
+		if err != nil {
+			return fmt.Errorf("ppdb: sync dir %s: %w", dir, err)
+		}
+		serr := f.Sync()
+		cerr := f.Close()
+		if serr != nil {
+			return fmt.Errorf("ppdb: sync dir %s: %w", dir, serr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("ppdb: sync dir %s: %w", dir, cerr)
+		}
+	}
+	return nil
+}
+
+// Load rebuilds a DB from a snapshot directory written by Save. The newest
+// generation at dir is manifest-verified before any of it is parsed; if it
+// is missing, torn, or corrupted, Load falls back to the previous
+// generation at <dir>.prev. cfg supplies the runtime-only configuration
+// (hierarchies, retention, options, scales); its Policy and Start fields
+// are ignored — the saved policy and clock win.
 func Load(dir string, cfg Config) (*DB, error) {
-	corpusBytes, err := os.ReadFile(filepath.Join(dir, "corpus.dsl"))
+	db, err := loadSnapshot(dir, cfg)
+	if err == nil {
+		return db, nil
+	}
+	prev := dir + prevSuffix
+	if _, statErr := os.Stat(filepath.Join(prev, manifestName)); statErr != nil {
+		return nil, err
+	}
+	db, prevErr := loadSnapshot(prev, cfg)
+	if prevErr != nil {
+		return nil, fmt.Errorf("ppdb: load: snapshot unusable (%v); previous generation also unusable: %w", err, prevErr)
+	}
+	return db, nil
+}
+
+// verifySnapshot reads the manifest and every artifact it lists, checking
+// format version and SHA-256s. It returns the verified artifact bytes, so
+// the loader only ever parses content the manifest vouches for.
+func verifySnapshot(dir string) (map[string][]byte, error) {
+	manBytes, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, fmt.Errorf("ppdb: load corpus: %w", err)
+		return nil, fmt.Errorf("ppdb: load %s: no readable manifest (torn, pre-manifest, or not a snapshot): %w", dir, err)
+	}
+	var man manifestJSON
+	if err := json.Unmarshal(manBytes, &man); err != nil {
+		return nil, fmt.Errorf("ppdb: load %s: corrupt manifest: %w", dir, err)
+	}
+	if man.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("ppdb: load %s: snapshot format %d, this build reads format %d", dir, man.FormatVersion, FormatVersion)
+	}
+	for _, required := range []string{"corpus.dsl", "state.json"} {
+		if _, ok := man.Files[required]; !ok {
+			return nil, fmt.Errorf("ppdb: load %s: manifest lists no %s", dir, required)
+		}
+	}
+	arts := make(map[string][]byte, len(man.Files))
+	rels := make([]string, 0, len(man.Files))
+	for rel := range man.Files {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		data, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			return nil, fmt.Errorf("ppdb: load %s: artifact %s listed in manifest is unreadable: %w", dir, rel, err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != man.Files[rel] {
+			return nil, fmt.Errorf("ppdb: load %s: artifact %s is torn or corrupted (sha256 %s, manifest says %s)", dir, rel, got, man.Files[rel])
+		}
+		arts[rel] = data
+	}
+	return arts, nil
+}
+
+// loadSnapshot verifies and parses one generation.
+func loadSnapshot(dir string, cfg Config) (*DB, error) {
+	arts, err := verifySnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	artifact := func(rel string) ([]byte, error) {
+		data, ok := arts[rel]
+		if !ok {
+			return nil, fmt.Errorf("ppdb: load %s: artifact %s is not listed in the manifest", dir, rel)
+		}
+		return data, nil
+	}
+
+	corpusBytes, err := artifact("corpus.dsl")
+	if err != nil {
+		return nil, err
 	}
 	doc, err := policydsl.Parse(string(corpusBytes))
 	if err != nil {
@@ -153,9 +393,9 @@ func Load(dir string, cfg Config) (*DB, error) {
 	if doc.Policy == nil {
 		return nil, fmt.Errorf("ppdb: saved corpus has no policy")
 	}
-	stateBytes, err := os.ReadFile(filepath.Join(dir, "state.json"))
+	stateBytes, err := artifact("state.json")
 	if err != nil {
-		return nil, fmt.Errorf("ppdb: load state: %w", err)
+		return nil, err
 	}
 	var state stateJSON
 	if err := json.Unmarshal(stateBytes, &state); err != nil {
@@ -184,9 +424,9 @@ func Load(dir string, cfg Config) (*DB, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		tj := state.Tables[name]
-		schemaSQL, err := os.ReadFile(filepath.Join(dir, "tables", name+".schema.sql"))
+		schemaSQL, err := artifact(filepath.Join("tables", name+".schema.sql"))
 		if err != nil {
-			return nil, fmt.Errorf("ppdb: load schema %s: %w", name, err)
+			return nil, err
 		}
 		st, err := relational.Parse(string(schemaSQL))
 		if err != nil {
@@ -204,17 +444,17 @@ func Load(dir string, cfg Config) (*DB, error) {
 			return nil, err
 		}
 
-		dataBytes, err := os.ReadFile(filepath.Join(dir, "tables", name+".csv"))
+		dataBytes, err := artifact(filepath.Join("tables", name+".csv"))
 		if err != nil {
-			return nil, fmt.Errorf("ppdb: load rows %s: %w", name, err)
+			return nil, err
 		}
 		rows, err := relational.ReadCSV(schema, strings.NewReader(string(dataBytes)))
 		if err != nil {
 			return nil, fmt.Errorf("ppdb: load rows %s: %w", name, err)
 		}
-		metaBytes, err := os.ReadFile(filepath.Join(dir, "tables", name+".meta.csv"))
+		metaBytes, err := artifact(filepath.Join("tables", name+".meta.csv"))
 		if err != nil {
-			return nil, fmt.Errorf("ppdb: load provenance %s: %w", name, err)
+			return nil, err
 		}
 		metaRecords, err := csv.NewReader(strings.NewReader(string(metaBytes))).ReadAll()
 		if err != nil {

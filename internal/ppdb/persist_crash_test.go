@@ -1,0 +1,303 @@
+package ppdb
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// readTree maps every file under dir (recursively) to its bytes, keyed by
+// slash-separated relative path.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	tree := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		tree[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("readTree %s: %v", dir, err)
+	}
+	return tree
+}
+
+func sameTree(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// saveSites enumerates every fault-injection site a full generation
+// rotation passes through, by tracing a clean save over an existing
+// snapshot. The crash matrix iterates this list, so new sites added to
+// the persist path are covered automatically.
+func saveSites(t *testing.T) []string {
+	t.Helper()
+	defer fault.Reset()
+	db := clinicDB(t)
+	scratch := filepath.Join(t.TempDir(), "scratch")
+	if err := db.Save(scratch); err != nil {
+		t.Fatal(err)
+	}
+	fault.StartTrace()
+	if err := db.Save(scratch); err != nil {
+		t.Fatal(err)
+	}
+	return fault.StopTrace()
+}
+
+// TestCrashMatrixSaveRecovery is the acceptance criterion for the
+// durability tentpole: for every injection site in the save path, kill the
+// save mid-flight at that site and prove that Load still recovers a
+// generation whose bytes are identical to the snapshot that existed before
+// the crash.
+func TestCrashMatrixSaveRecovery(t *testing.T) {
+	sites := saveSites(t)
+	if len(sites) < 10 {
+		t.Fatalf("suspiciously few persist injection sites: %v", sites)
+	}
+	for _, site := range sites {
+		site := site
+		t.Run(site, func(t *testing.T) {
+			defer fault.Reset()
+			db := clinicDB(t)
+			dir := filepath.Join(t.TempDir(), "snap")
+			if err := db.Save(dir); err != nil {
+				t.Fatal(err)
+			}
+			gen1 := readTree(t, dir)
+
+			// Mutate so the crashed save would have written different
+			// bytes, then crash it at the site under test.
+			if _, err := db.Advance(24 * time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			fault.ArmCrash(site)
+			err := db.Save(dir)
+			if !fault.IsCrash(err) {
+				t.Fatalf("save with %s armed returned %v, want a simulated crash", site, err)
+			}
+			fault.Reset()
+
+			// Recovery: Load must succeed on whatever the crash left.
+			db2, err := Load(dir, Config{})
+			if err != nil {
+				t.Fatalf("recovery after crash at %s failed: %v", site, err)
+			}
+			if got, want := len(db2.Providers()), len(db.Providers()); got != want {
+				t.Errorf("recovered %d providers, want %d", got, want)
+			}
+
+			// The pre-crash generation survived byte-identical: either
+			// still live at dir, or retired to dir.prev by a crash that
+			// landed mid-rotation (or post-publish, for the final sites).
+			liveOK := dirExists(dir) && sameTree(gen1, readTree(t, dir))
+			prevOK := dirExists(dir+prevSuffix) && sameTree(gen1, readTree(t, dir+prevSuffix))
+			if !liveOK && !prevOK {
+				t.Errorf("crash at %s destroyed the previous generation: live match %v, prev match %v", site, liveOK, prevOK)
+			}
+		})
+	}
+}
+
+func dirExists(dir string) bool {
+	info, err := os.Stat(dir)
+	return err == nil && info.IsDir()
+}
+
+// TestCrashedSaveThenCleanSave proves crash debris does not poison the
+// next save: a clean Save after a crashed one publishes normally.
+func TestCrashedSaveThenCleanSave(t *testing.T) {
+	defer fault.Reset()
+	db := clinicDB(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fault.ArmCrash("persist.rename.live")
+	if err := db.Save(dir); !fault.IsCrash(err) {
+		t.Fatalf("armed save returned %v", err)
+	}
+	fault.Reset()
+	if err := db.Save(dir); err != nil {
+		t.Fatalf("clean save after crash: %v", err)
+	}
+	if _, err := Load(dir, Config{}); err != nil {
+		t.Fatalf("load after recovery save: %v", err)
+	}
+}
+
+// TestSaveInjectedErrorCleansStaging: a non-crash failure (the disk says
+// no) leaves the live snapshot alone and removes the staging directory.
+func TestSaveInjectedErrorCleansStaging(t *testing.T) {
+	defer fault.Reset()
+	db := clinicDB(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := readTree(t, dir)
+	fault.ArmError("persist.write.state.json", nil)
+	if err := db.Save(dir); err == nil {
+		t.Fatal("armed save succeeded")
+	}
+	fault.Reset()
+	if dirExists(dir + tmpSuffix) {
+		t.Error("failed save left the staging directory behind")
+	}
+	if !sameTree(gen1, readTree(t, dir)) {
+		t.Error("failed save disturbed the live snapshot")
+	}
+}
+
+// TestLoadCorruptedSnapshots hand-corrupts saved directories and demands a
+// descriptive error for each wound — never a panic, never a half-loaded DB.
+func TestLoadCorruptedSnapshots(t *testing.T) {
+	save := func(t *testing.T) string {
+		t.Helper()
+		db := clinicDB(t)
+		dir := filepath.Join(t.TempDir(), "snap")
+		if err := db.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	expectLoadError := func(t *testing.T, dir string, wantSubstr ...string) {
+		t.Helper()
+		db, err := Load(dir, Config{})
+		if err == nil {
+			t.Fatal("corrupted snapshot loaded")
+		}
+		if db != nil {
+			t.Fatal("error return carried a half-loaded DB")
+		}
+		for _, w := range wantSubstr {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q does not mention %q", err, w)
+			}
+		}
+	}
+
+	t.Run("truncated state.json", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, "state.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectLoadError(t, dir, "state.json", "torn or corrupted")
+	})
+
+	t.Run("missing meta.csv", func(t *testing.T) {
+		dir := save(t)
+		if err := os.Remove(filepath.Join(dir, "tables", "patients.meta.csv")); err != nil {
+			t.Fatal(err)
+		}
+		expectLoadError(t, dir, "patients.meta.csv", "unreadable")
+	})
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, "corpus.dsl")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectLoadError(t, dir, "corpus.dsl", "torn or corrupted")
+	})
+
+	t.Run("missing manifest", func(t *testing.T) {
+		dir := save(t)
+		if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+			t.Fatal(err)
+		}
+		expectLoadError(t, dir, "manifest")
+	})
+
+	t.Run("wrong format version", func(t *testing.T) {
+		dir := save(t)
+		path := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man manifestJSON
+		if err := json.Unmarshal(data, &man); err != nil {
+			t.Fatal(err)
+		}
+		man.FormatVersion = 99
+		out, err := json.Marshal(man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectLoadError(t, dir, "format 99")
+	})
+}
+
+// TestLoadFallsBackToPreviousGeneration: when the newest generation is
+// corrupted but <dir>.prev verifies, Load serves the previous generation.
+func TestLoadFallsBackToPreviousGeneration(t *testing.T) {
+	db := clinicDB(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	gen1Now := db.Now()
+	if _, err := db.Advance(48 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the live generation; the rotation left gen 1 at .prev.
+	if err := os.WriteFile(filepath.Join(dir, "state.json"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(dir, Config{})
+	if err != nil {
+		t.Fatalf("fallback load failed: %v", err)
+	}
+	if !db2.Now().Equal(gen1Now) {
+		t.Errorf("fallback clock = %v, want generation-1 clock %v", db2.Now(), gen1Now)
+	}
+	// With both generations wounded the error names both failures.
+	if err := os.WriteFile(filepath.Join(dir+prevSuffix, "state.json"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, Config{}); err == nil || !strings.Contains(err.Error(), "previous generation") {
+		t.Errorf("double-corruption error = %v", err)
+	}
+}

@@ -1,11 +1,15 @@
 #!/bin/sh
 # CI gate: the full `make check` chain (gofmt, go vet, ppdblint, build,
-# tests) plus a race pass over the concurrency-bearing packages — the PPDB
-# prototype and the relational engine, whose mutex discipline lockcheck
-# verifies statically.
+# tests), the fault-injection/crash-matrix suite, and a race pass over the
+# concurrency-bearing packages — the PPDB prototype, the relational engine,
+# the ledger, the fault registry (global armed-site state hit from request
+# goroutines) and the hardened HTTP layer (in-flight semaphore, readiness
+# flag).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 make check
-go test -race ./internal/ledger/... ./internal/ppdb/... ./internal/relational/...
+make faults
+go test -race ./internal/ledger/... ./internal/ppdb/... ./internal/relational/... \
+	./internal/fault/... ./internal/httpapi/...
