@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint check ci test race faults bench bench-all experiments cover
+.PHONY: all build vet lint check ci test race faults bench bench-all benchgate experiments cover
 
 all: build vet test
 
@@ -50,8 +50,17 @@ bench:
 bench-all:
 	go test -bench=. -benchmem ./...
 
+# benchgate re-runs the certification benches and fails if any regressed
+# past BENCH_TOLERANCE percent (default 25) of the recorded baseline.
+# After an intentional perf change, re-record the baseline with `make bench`.
+benchgate:
+	./scripts/benchgate.sh
+
 experiments:
 	go run ./cmd/experiments -run all
 
+# cover enforces a minimum statement coverage on the paper-core packages
+# (internal/core, internal/ledger, internal/ppdb) and leaves coverage.out
+# behind for artifact upload. COVER_THRESHOLD overrides the default 70.
 cover:
-	go test -cover ./...
+	./scripts/cover.sh

@@ -12,6 +12,7 @@
 //	curl -X POST localhost:8080/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
 //	curl localhost:8080/certify?alpha=0.1
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
 //
 // Lifecycle: the listener runs under an http.Server with read/write/idle
 // timeouts; SIGINT/SIGTERM flips /readyz to 503, drains in-flight requests
@@ -19,6 +20,13 @@
 // directory is configured) and exits cleanly. -snapshot-interval persists
 // the database periodically through ppdb.Save's crash-safe atomic path, so
 // a `ppdbserver -load <dir>` restart always finds a verifiable generation.
+//
+// Observability (DESIGN.md §10): GET /metrics serves the process metrics
+// (request, ledger, persistence, and the paper's P(W)/P(Default)/N
+// gauges); every request is logged as one structured key=value line
+// unless -access-log=false; -pprof-addr serves net/http/pprof on a
+// second, normally firewalled listener — profiling stays opt-in and off
+// the public port.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/kvlog"
 	"repro/internal/policydsl"
 	"repro/internal/ppdb"
 	"repro/internal/relational"
@@ -50,6 +60,8 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "directory for periodic/final snapshots (defaults to the -load directory)")
 	snapshotEvery := flag.Duration("snapshot-interval", 0, "persist a snapshot this often (0 disables periodic snapshots)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it firewalled)")
+	accessLog := flag.Bool("access-log", true, "log one structured key=value line per request")
 	flag.Parse()
 
 	var db *ppdb.DB
@@ -70,21 +82,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppdbserver: -snapshot-interval needs -snapshot-dir (or -load)")
 		os.Exit(1)
 	}
-	api, err := httpapi.New(db)
+	opts := httpapi.Options{}
+	if *accessLog {
+		opts.RequestLog = log.Default()
+	}
+	api, err := httpapi.NewWith(db, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppdbserver: pprof listener: %v\n", err)
+			os.Exit(1)
+		}
+		log.Print(kvlog.Line("event", "pprof_listening", "addr", pln.Addr()))
+		go func() {
+			// The pprof listener dying must not take the service down:
+			// log it and keep serving the main port.
+			err := http.Serve(pln, pprofHandler())
+			log.Print(kvlog.Line("event", "pprof_server_exit", "err", err))
+		}()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("ppdbserver listening on %s", ln.Addr())
+	log.Print(kvlog.Line("event", "listening", "addr", ln.Addr()))
 	if err := serve(ln, api, db, *snapshotDir, *snapshotEvery, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// pprofHandler is the opt-in profiling surface behind -pprof-addr: the
+// standard net/http/pprof routes on a private mux, so nothing profiling-
+// related ever registers on the service listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the hardened lifecycle on an already-bound listener: an
@@ -115,7 +158,7 @@ func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, ev
 		select {
 		case <-snapC:
 			if err := db.Save(snapDir); err != nil {
-				log.Printf("ppdbserver: periodic snapshot: %v", err)
+				log.Print(kvlog.Line("event", "snapshot_error", "kind", "periodic", "dir", snapDir, "err", err))
 			}
 		case err := <-errc:
 			// The listener died under us (Serve never returns nil, and
@@ -123,23 +166,23 @@ func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, ev
 			return err
 		case <-ctx.Done():
 			stop() // a second signal now kills the process the default way
-			log.Printf("ppdbserver: shutdown signal; draining for up to %s", drainTimeout)
+			log.Print(kvlog.Line("event", "shutdown", "drain_timeout", drainTimeout))
 			api.SetReady(false)
 			sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 			defer cancel()
 			err := srv.Shutdown(sctx)
 			if snapDir != "" {
 				if serr := db.Save(snapDir); serr != nil {
-					log.Printf("ppdbserver: final snapshot: %v", serr)
+					log.Print(kvlog.Line("event", "snapshot_error", "kind", "final", "dir", snapDir, "err", serr))
 				} else {
-					log.Printf("ppdbserver: final snapshot written to %s", snapDir)
+					log.Print(kvlog.Line("event", "snapshot_written", "kind", "final", "dir", snapDir))
 				}
 			}
 			<-errc // reap the Serve goroutine (http.ErrServerClosed)
 			if err != nil {
 				return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
 			}
-			log.Printf("ppdbserver: drained, exiting")
+			log.Print(kvlog.Line("event", "drained"))
 			return nil
 		}
 	}

@@ -255,3 +255,41 @@ func waitDraining(t *testing.T, base string) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestPprofHandler pins the private profiling mux: the pprof index is
+// served, and it never leaks onto the service handler.
+func TestPprofHandler(t *testing.T) {
+	srv := httptest.NewServer(pprofHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index body missing profile list: %.200s", body)
+	}
+
+	// The service handler must not expose the debug routes.
+	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	db, err := build(corpus, "records", "provider", "weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := httpapi.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("service handler serves /debug/pprof/: %d", rec.Code)
+	}
+}

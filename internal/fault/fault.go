@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Mode selects what an armed injection site does when execution reaches it.
@@ -98,6 +100,11 @@ func point(name string) error {
 	if !ok {
 		return nil
 	}
+	// An armed site fired: count the trip before the failure propagates
+	// (the panic mode never returns). Disarmed runs never reach here, so
+	// production traffic pays nothing for the counter.
+	metrics.Default.Counter("fault_trips_total",
+		"armed fault-injection sites tripped", "site", name).Inc()
 	switch a.mode {
 	case ModePanic:
 		panic(fmt.Sprintf("fault: injected panic at %s", name))

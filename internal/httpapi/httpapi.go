@@ -14,6 +14,7 @@
 //	GET  /self/data?provider=N                             → the provider's own rows
 //	GET  /healthz                                          → liveness probe
 //	GET  /readyz                                           → readiness probe (503 while draining)
+//	GET  /metrics                                          → Prometheus-text exposition (?format=json for JSON)
 //
 // Every response is JSON; policy and preference uploads use the policydsl
 // text format (Content-Type is not enforced). Denied queries return 403
@@ -23,8 +24,15 @@
 // panic-recovery wrapper (a handler panic is logged with its stack and
 // answered with a JSON 500; the server keeps serving) and an in-flight
 // cap that sheds excess load with a JSON 503 + Retry-After rather than
-// letting a pile-up take the process down. /healthz and /readyz bypass
-// the cap so a saturated server still answers its load balancer.
+// letting a pile-up take the process down. /healthz, /readyz and /metrics
+// bypass the cap so a saturated server still answers its load balancer
+// and its scraper.
+//
+// Observability (DESIGN.md §10): every capped request is measured — a
+// per-route/status-class request counter, an in-flight gauge, a per-route
+// latency histogram, and dedicated shed/panic counters — published to the
+// metrics registry /metrics serves. Options.RequestLog adds one
+// structured key=value line per request.
 package httpapi
 
 import (
@@ -38,8 +46,11 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/kvlog"
+	"repro/internal/metrics"
 	"repro/internal/policydsl"
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
@@ -56,6 +67,14 @@ type Options struct {
 	MaxInFlight int
 	// Logger receives panic reports; nil means log.Default().
 	Logger *log.Logger
+	// Metrics is the registry the request instrumentation publishes to
+	// and GET /metrics serves; nil means metrics.Default (which also
+	// carries the ledger/ppdb/fault instrumentation of this process).
+	Metrics *metrics.Registry
+	// RequestLog, when non-nil, receives one structured key=value line
+	// per measured request (probes and /metrics are exempt). nil
+	// disables request logging.
+	RequestLog *log.Logger
 }
 
 // Server wraps a PPDB with an http.Handler.
@@ -63,8 +82,17 @@ type Server struct {
 	db       *ppdb.DB
 	mux      *http.ServeMux
 	logger   *log.Logger
+	reqLog   *log.Logger
 	inflight chan struct{} // semaphore: one slot per in-flight request
 	ready    atomic.Bool
+
+	// Request instrumentation (DESIGN.md §10). The counters that carry a
+	// status-class label are looked up per request; the per-route
+	// histograms and the singletons are resolved once here.
+	registry   *metrics.Registry
+	inFlight   *metrics.Gauge
+	shedTotal  *metrics.Counter
+	panicTotal *metrics.Counter
 }
 
 // New builds the handler around an existing PPDB with default Options.
@@ -83,11 +111,22 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 	if opts.Logger == nil {
 		opts.Logger = log.Default()
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.Default
+	}
 	s := &Server{
 		db:       db,
 		mux:      http.NewServeMux(),
 		logger:   opts.Logger,
+		reqLog:   opts.RequestLog,
 		inflight: make(chan struct{}, opts.MaxInFlight),
+		registry: opts.Metrics,
+		inFlight: opts.Metrics.Gauge("httpapi_in_flight",
+			"requests currently being served (shed and probe requests excluded)"),
+		shedTotal: opts.Metrics.Counter("httpapi_shed_total",
+			"requests shed with a 503 because the in-flight cap was reached"),
+		panicTotal: opts.Metrics.Counter("httpapi_panics_total",
+			"handler panics recovered into JSON 500s"),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/certify", s.handleCertify)
@@ -101,6 +140,7 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/self/data", s.handleSelfData)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", opts.Metrics.Handler())
 	s.ready.Store(true)
 	return s, nil
 }
@@ -110,18 +150,104 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 // in-flight requests finish.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// ServeHTTP implements http.Handler: probe bypass, load shedding, panic
-// recovery, then the route table.
+// routes is the measured route table: request counters and latency
+// histograms are labeled with one of these (or "other"), never the raw
+// request path, so a scan of random URLs cannot mint unbounded series.
+var routes = map[string]bool{
+	"/query": true, "/certify": true, "/certify/summary": true,
+	"/policy": true, "/providers": true, "/audit": true, "/sweep": true,
+	"/load": true, "/self/audit": true, "/self/data": true,
+}
+
+// routeOf collapses a request path to its metric label.
+func routeOf(path string) string {
+	if routes[path] {
+		return path
+	}
+	return "other"
+}
+
+// classOf collapses a status code to its class label ("2xx", "5xx", ...).
+func classOf(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	case 5:
+		return "5xx"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter records the status line and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: probe/scrape bypass, request
+// instrumentation, load shedding, panic recovery, then the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/metrics":
+		// Probes and scrapes bypass the cap and the instrumentation: a
+		// saturated server still answers its load balancer, and a scrape
+		// never perturbs the numbers it reads.
 		s.mux.ServeHTTP(w, r)
 		return
 	}
+	route := routeOf(r.URL.Path)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.inFlight.Inc()
+	defer func() {
+		s.inFlight.Dec()
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		s.registry.Counter("httpapi_requests_total",
+			"requests served by route and status class",
+			"route", route, "class", classOf(status)).Inc()
+		s.registry.Histogram("httpapi_request_seconds",
+			"request latency by route", metrics.DefBuckets,
+			"route", route).Observe(elapsed.Seconds())
+		if s.reqLog != nil {
+			s.reqLog.Print(kvlog.Line("event", "request", "method", r.Method,
+				"path", r.URL.Path, "route", route, "status", status,
+				"bytes", sw.bytes, "dur", elapsed))
+		}
+	}()
 	select {
 	case s.inflight <- struct{}{}:
 	default:
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, errors.New("server at capacity, retry shortly"))
+		s.shedTotal.Inc()
+		sw.Header().Set("Retry-After", "1")
+		writeErr(sw, http.StatusServiceUnavailable, errors.New("server at capacity, retry shortly"))
 		return
 	}
 	defer func() { <-s.inflight }()
@@ -130,17 +256,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.logger.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.panicTotal.Inc()
+			s.logger.Printf("%s\n%s",
+				kvlog.Line("event", "panic", "method", r.Method, "path", r.URL.Path, "err", rec),
+				debug.Stack())
 			// Best effort: if the handler already wrote a status line this
 			// changes nothing on the wire, but the process keeps serving.
-			writeErr(w, http.StatusInternalServerError, errors.New("internal server error"))
+			writeErr(sw, http.StatusInternalServerError, errors.New("internal server error"))
 		}
 	}()
 	if err := fault.Point("httpapi.handler"); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(sw, http.StatusInternalServerError, err)
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // errorBody is the uniform error envelope.

@@ -1,0 +1,59 @@
+// Package kvlog renders structured key=value (logfmt-style) log lines.
+//
+// The service layers used to emit ad-hoc prose log lines; operators then
+// grep for sentences. kvlog replaces them with machine-parseable pairs:
+//
+//	log.Print(kvlog.Line("event", "request", "method", "GET",
+//	        "path", "/certify", "status", 200, "dur", elapsed))
+//	// event=request method=GET path=/certify status=200 dur=1.21ms
+//
+// Values render with fmt.Sprint and are quoted (strconv.Quote) only when
+// they contain whitespace, '=', '"', or control characters, so the common
+// case stays grep-friendly while arbitrary strings stay one-line and
+// unambiguous. Keys are taken as written — callers use static,
+// logfmt-safe keys.
+package kvlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Line renders alternating key, value pairs as one key=value line (no
+// trailing newline). An odd trailing key renders as key=MISSING so a
+// malformed call site is visible in the log rather than silently dropped.
+func Line(pairs ...any) string {
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(fmt.Sprint(pairs[i]))
+		b.WriteByte('=')
+		if i+1 < len(pairs) {
+			b.WriteString(Value(pairs[i+1]))
+		} else {
+			b.WriteString("MISSING")
+		}
+	}
+	return b.String()
+}
+
+// Value renders one value, quoting only when needed.
+func Value(v any) string {
+	s := fmt.Sprint(v)
+	if s == "" || needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func needsQuoting(s string) bool {
+	for _, c := range s {
+		if c <= ' ' || c == '=' || c == '"' || c == 0x7f {
+			return true
+		}
+	}
+	return false
+}

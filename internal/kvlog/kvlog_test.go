@@ -1,0 +1,39 @@
+package kvlog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLine(t *testing.T) {
+	cases := []struct {
+		name  string
+		pairs []any
+		want  string
+	}{
+		{"empty", nil, ""},
+		{"simple", []any{"event", "request", "status", 200}, "event=request status=200"},
+		{"spaces quoted", []any{"err", "server at capacity"}, `err="server at capacity"`},
+		{"equals quoted", []any{"q", "a=b"}, `q="a=b"`},
+		{"quote quoted", []any{"q", `say "hi"`}, `q="say \"hi\""`},
+		{"newline quoted", []any{"q", "a\nb"}, `q="a\nb"`},
+		{"empty value quoted", []any{"q", ""}, `q=""`},
+		{"duration", []any{"dur", 1500 * time.Millisecond}, "dur=1.5s"},
+		{"float", []any{"pw", 0.25}, "pw=0.25"},
+		{"odd trailing key", []any{"a", 1, "b"}, "a=1 b=MISSING"},
+	}
+	for _, c := range cases {
+		if got := Line(c.pairs...); got != c.want {
+			t.Errorf("%s: Line(%v) = %q, want %q", c.name, c.pairs, got, c.want)
+		}
+	}
+}
+
+func TestValue(t *testing.T) {
+	if got := Value(42); got != "42" {
+		t.Errorf("Value(42) = %q", got)
+	}
+	if got := Value("tab\there"); got != `"tab\there"` {
+		t.Errorf("Value(tab) = %q", got)
+	}
+}

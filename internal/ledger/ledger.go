@@ -33,7 +33,25 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/privacy"
+)
+
+// Instrumentation (DESIGN.md §10). Counters aggregate across every ledger
+// in the process; the rows gauge is set by whichever ledger mutated last
+// (one server process holds one live ledger). Hoisted once so the hot
+// paths pay a single atomic op, not a registry lookup.
+var (
+	mMemoHits = metrics.Default.Counter("ledger_memo_hits_total",
+		"Upsert calls answered by a current memoized row (no re-assessment)")
+	mMemoMisses = metrics.Default.Counter("ledger_memo_misses_total",
+		"Upsert calls that had to re-assess the provider")
+	mDeltaApplies = metrics.Default.Counter("ledger_delta_applies_total",
+		"incremental row installs with O(1) aggregate maintenance")
+	mRebuilds = metrics.Default.Counter("ledger_rebuilds_total",
+		"full-population rebuilds (policy swaps and cold loads)")
+	mRows = metrics.Default.Gauge("ledger_rows",
+		"provider rows currently memoized by the live ledger")
 )
 
 // entry is one provider's materialized row.
@@ -115,8 +133,10 @@ func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) c
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if e, ok := l.entries[key]; ok && e.prefsVersion == prefsVersion && e.policyVersion == l.policyVersion {
+		mMemoHits.Inc()
 		return e.report
 	}
+	mMemoMisses.Inc()
 	rep := l.assessor.AssessOne(prefs)
 	l.applyLocked(key, prefs, prefsVersion, rep)
 	return rep
@@ -127,6 +147,7 @@ func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) c
 func (l *Ledger) UpsertBatch(items []Item) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	mMemoMisses.Add(uint64(len(items)))
 	reports := make([]core.ProviderReport, len(items))
 	fanOut(len(items), func(i int) {
 		reports[i] = l.assessor.AssessOne(items[i].Prefs)
@@ -149,6 +170,7 @@ func (l *Ledger) Remove(key string) bool {
 	delete(l.entries, key)
 	i := sort.SearchStrings(l.keys, key)
 	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	mRows.Set(float64(len(l.entries)))
 	return true
 }
 
@@ -158,6 +180,7 @@ func (l *Ledger) Remove(key string) bool {
 func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	mRebuilds.Inc()
 	l.assessor = a
 	l.policyVersion = policyVersion
 	reports := make([]core.ProviderReport, len(l.keys))
@@ -235,6 +258,8 @@ func (l *Ledger) WouldDefault() []string {
 // applyLocked installs a freshly computed report for key, adjusting the
 // aggregates by the delta (subtract the old row, add the new).
 func (l *Ledger) applyLocked(key string, prefs *privacy.Prefs, prefsVersion uint64, rep core.ProviderReport) {
+	mDeltaApplies.Inc()
+	defer func() { mRows.Set(float64(len(l.entries))) }()
 	if e, ok := l.entries[key]; ok {
 		l.subtractLocked(e)
 		e.prefs, e.prefsVersion, e.policyVersion, e.report = prefs, prefsVersion, l.policyVersion, rep

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition: WritePrometheus renders the text format scrapers expect
+// (version 0.0.4 — # HELP / # TYPE headers, histograms as cumulative
+// _bucket{le=...} plus _sum/_count); WriteJSON renders the same snapshot
+// as a JSON document for humans and tests. Both walk a point-in-time copy
+// taken under the registry lock, so a scrape never blocks an Observe for
+// longer than the copy.
+
+// familySnapshot is the exposition view of one family.
+type familySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []seriesSnapshot `json:"series"`
+}
+
+// seriesSnapshot is one labeled instrument. Exactly one of Value (counter
+// and gauge) or Histogram is set.
+type seriesSnapshot struct {
+	Labels    []Label        `json:"labels,omitempty"`
+	Value     *float64       `json:"value,omitempty"`
+	Histogram *histogramJSON `json:"histogram,omitempty"`
+
+	kind Kind
+	hist *HistogramSnapshot
+}
+
+// histogramJSON is the JSON rendering of a histogram: cumulative bucket
+// counts, with the +Inf bound spelled as a string ("+Inf" is not a JSON
+// number).
+type histogramJSON struct {
+	Buckets []bucketJSON `json:"buckets"`
+	Sum     float64      `json:"sum"`
+	Count   uint64       `json:"count"`
+}
+
+type bucketJSON struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"count"`
+}
+
+// snapshot copies every family under the lock, sorted by family name then
+// label string, so exposition is deterministic run to run.
+func (r *Registry) snapshot() []familySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	type row struct {
+		key string
+		s   *series
+	}
+	rowsByFam := make(map[string][]row, len(fams))
+	for _, f := range fams {
+		rows := make([]row, 0, len(f.series))
+		for k, s := range f.series {
+			rows = append(rows, row{key: k, s: s})
+		}
+		rowsByFam[f.name] = rows
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]familySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := familySnapshot{Name: f.name, Type: f.kind.String(), Help: f.help}
+		rows := rowsByFam[f.name]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+		for _, rw := range rows {
+			ss := seriesSnapshot{Labels: rw.s.labels, kind: f.kind}
+			switch f.kind {
+			case KindCounter:
+				v := float64(rw.s.counter.Value())
+				ss.Value = &v
+			case KindGauge:
+				v := rw.s.gauge.Value()
+				ss.Value = &v
+			case KindHistogram:
+				h := rw.s.hist.Snapshot()
+				ss.hist = &h
+				ss.Histogram = cumulate(&h)
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// cumulate converts a per-bucket snapshot to cumulative JSON buckets.
+func cumulate(h *HistogramSnapshot) *histogramJSON {
+	out := &histogramJSON{Sum: h.Sum, Count: h.Count}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatFloat(h.Bounds[i])
+		}
+		out.Buckets = append(out.Buckets, bucketJSON{LE: le, Cumulative: cum})
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, families sorted by name and series by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshot() {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Series {
+			if s.kind == KindHistogram {
+				writePromHistogram(&b, f.Name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.Name, promLabels(s.Labels, "", ""), formatFloat(*s.Value))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets with
+// an le label appended to the series labels, then _sum and _count.
+func writePromHistogram(b *strings.Builder, name string, s seriesSnapshot) {
+	var cum uint64
+	for i, c := range s.hist.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.hist.Bounds) {
+			le = formatFloat(s.hist.Bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, promLabels(s.Labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, promLabels(s.Labels, "", ""), formatFloat(s.hist.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(s.Labels, "", ""), s.hist.Count)
+}
+
+// promLabels renders {k="v",...}, appending an extra pair when extraK is
+// non-empty (the histogram le label). Empty label sets render as nothing.
+func promLabels(labels []Label, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q supplies the quote, backslash and newline escaping the
+		// format requires.
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp keeps HELP text single-line.
+func escapeHelp(h string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(h)
+}
+
+// formatFloat renders a float the shortest way that round-trips; integral
+// values print without an exponent, +Inf as "+Inf".
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the registry as a JSON document: an array of families
+// in the same order as the text exposition.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"families": r.snapshot()})
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default, JSON
+// when the request asks for it (?format=json or an Accept header naming
+// application/json). GET only.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			//lint:ignore errflow an encode failure mid-scrape means the scraper hung up; the status line is gone
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore errflow a write failure mid-scrape means the scraper hung up; the status line is gone
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,348 @@
+// Package metrics is a zero-dependency, race-safe metrics registry for the
+// α-PPDB service: counters, gauges, and fixed-bucket histograms, exposed in
+// the Prometheus text format (and JSON) over GET /metrics.
+//
+// The paper's headline quantities — P(W) (Def. 2), P(Default) (Def. 5) and
+// the population size N — are operator-facing numbers: a certification is a
+// statement about the *current* policy and population, so an α-PPDB under
+// live traffic should have them scrapeable continuously, not only on demand
+// via /certify. This package carries those gauges plus the request, ledger,
+// persistence, and fault-injection instrumentation around them (DESIGN.md
+// §10 documents every metric name).
+//
+// Usage is get-or-create, keyed by metric name plus an alternating
+// key/value label list:
+//
+//	reqs := metrics.Default.Counter("httpapi_requests_total",
+//	        "requests served", "route", "/certify", "class", "2xx")
+//	reqs.Inc()
+//
+// Identical (name, labels) pairs return the identical instrument, so call
+// sites need no registration ceremony; hot paths hoist the returned pointer
+// into a package variable and pay one atomic op per event. Misuse —
+// re-registering a name as a different kind, odd label lists, malformed
+// names — panics at the call site: instruments are static program text, so
+// a bad one is a bug, not an input.
+//
+// Counters and gauges are lock-free atomics; histograms take a private
+// mutex per observation. The registry mutex is held only during
+// get-or-create and exposition walks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the instrument families a registry can hold.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution with sum and count.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefBuckets are the default latency buckets in seconds: 100µs to 10s,
+// roughly logarithmic — wide enough for an in-memory assessment at the
+// bottom and a 100k-provider cold rebuild or snapshot fsync at the top.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing uint64. Lock-free.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a float64 that can move both ways. Lock-free (the float is
+// stored as its IEEE-754 bits in an atomic uint64).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative d subtracts) via a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest. Observations
+// take a private mutex so (buckets, sum, count) stay mutually consistent.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // immutable after construction
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. v ≤ le
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state. Counts
+// are per-bucket (non-cumulative); exposition cumulates.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the +Inf bucket is implicit
+	Counts []uint64  // len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns a consistent copy.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	counts := make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: counts, Sum: h.sum, Count: h.count}
+	h.mu.Unlock()
+	return s
+}
+
+// series is one (label set → instrument) row of a family.
+type series struct {
+	labels  []Label // sorted by name
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64          // histograms only
+	series map[string]*series // keyed by rendered label string
+}
+
+// Registry holds metric families. Safe for concurrent use; the zero value
+// is not usable — construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Default is the process-wide registry the instrumented packages (httpapi,
+// ledger, ppdb, fault) publish into; /metrics serves it unless the server
+// was built with an explicit Options.Metrics.
+var Default = NewRegistry()
+
+// NewRegistry builds an empty registry. Tests use private registries for
+// deterministic assertions; production shares Default.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. labels alternate key, value. Panics on malformed names or labels,
+// or if name is already registered as a different kind.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.get(name, help, KindCounter, nil, labels).counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.get(name, help, KindGauge, nil, labels).gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it on first
+// use with the given ascending upper bounds (nil means DefBuckets). Every
+// series of one name shares the first registration's bounds; re-registering
+// with different bounds panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.get(name, help, KindHistogram, bounds, labels).hist
+}
+
+// get is the get-or-create core shared by the three instrument kinds.
+func (r *Registry) get(name, help string, kind Kind, bounds []float64, kv []string) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	labels := parseLabels(name, kv)
+	key := renderLabels(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		if kind == KindHistogram {
+			f.bounds = checkBounds(name, bounds)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s is a %s, requested as %s", name, f.kind, kind))
+	}
+	if kind == KindHistogram && !sameBounds(f.bounds, checkBounds(name, bounds)) {
+		panic(fmt.Sprintf("metrics: %s re-registered with different buckets", name))
+	}
+	s, ok := f.series[key]
+	if ok {
+		return s
+	}
+	s = &series{labels: labels}
+	switch kind {
+	case KindCounter:
+		s.counter = &Counter{}
+	case KindGauge:
+		s.gauge = &Gauge{}
+	case KindHistogram:
+		s.hist = &Histogram{bounds: f.bounds, counts: make([]uint64, len(f.bounds)+1)}
+	}
+	f.series[key] = s
+	return s
+}
+
+// checkBounds validates histogram bounds (defaulting nil) and returns the
+// slice to share across the family.
+func checkBounds(name string, bounds []float64) []float64 {
+	if bounds == nil {
+		return DefBuckets
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s bounds not strictly ascending at index %d", name, i))
+		}
+	}
+	return bounds
+}
+
+// sameBounds compares bound slices by exact bit pattern — the check is for
+// identical registration, not numeric closeness.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabels validates an alternating key/value list and returns it
+// sorted by key.
+func parseLabels(metric string, kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: %s given odd label list %q", metric, kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if !validName(kv[i]) {
+			panic(fmt.Sprintf("metrics: %s has invalid label name %q", metric, kv[i]))
+		}
+		labels = append(labels, Label{Name: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+	for i := 1; i < len(labels); i++ {
+		if labels[i].Name == labels[i-1].Name {
+			panic(fmt.Sprintf("metrics: %s repeats label %q", metric, labels[i].Name))
+		}
+	}
+	return labels
+}
+
+// renderLabels builds the canonical series key from sorted labels. %q
+// escaping keeps a value containing ',' or '"' from colliding with
+// another label set's rendering.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b []byte
+	for i, l := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Name...)
+		b = append(b, '=')
+		b = append(b, fmt.Sprintf("%q", l.Value)...)
+	}
+	return string(b)
+}
+
+// validName accepts Prometheus metric/label names:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

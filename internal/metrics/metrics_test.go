@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "reqs", "route", "/x")
+	b := r.Counter("requests_total", "reqs", "route", "/x")
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("requests_total", "reqs", "route", "/y")
+	if a == other {
+		t.Fatal("different labels must return distinct counters")
+	}
+	a.Inc()
+	a.Add(2)
+	if a.Value() != 3 {
+		t.Errorf("counter = %d, want 3", a.Value())
+	}
+	if other.Value() != 0 {
+		t.Errorf("sibling series moved: %d", other.Value())
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "", "x", "1", "y", "2")
+	b := r.Counter("c", "", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order must not create a new series")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight", "")
+	g.Set(4)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: 1 falls in the le=1 bucket, 1.5 in le=2, 10 in +Inf.
+	want := []uint64{2, 1, 0, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 4 || math.Abs(s.Sum-13) > 1e-12 {
+		t.Errorf("count=%d sum=%g, want 4 and 13", s.Count, s.Sum)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	assertPanics(t, "kind mismatch", func() { r.Gauge("m", "") })
+	assertPanics(t, "bad name", func() { r.Counter("9bad", "") })
+	assertPanics(t, "odd labels", func() { r.Counter("ok", "", "route") })
+	assertPanics(t, "bad label name", func() { r.Counter("ok", "", "bad-label", "v") })
+	assertPanics(t, "dup label", func() { r.Counter("ok", "", "a", "1", "a", "2") })
+	r.Histogram("h", "", []float64{1, 2})
+	assertPanics(t, "bucket mismatch", func() { r.Histogram("h", "", []float64{1, 3}) })
+	assertPanics(t, "descending buckets", func() { r.Histogram("h2", "", []float64{2, 1}) })
+	assertPanics(t, "empty buckets", func() { r.Histogram("h3", "", []float64{}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests served", "route", "/a", "class", "2xx").Add(3)
+	r.Gauge("pw", "P(W)").Set(0.25)
+	r.Histogram("lat_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests served",
+		"# TYPE reqs_total counter",
+		`reqs_total{class="2xx",route="/a"} 3`,
+		"# TYPE pw gauge",
+		"pw 0.25",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 0`,
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.5",
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: families sorted by name.
+	if strings.Index(out, "# TYPE lat_seconds") > strings.Index(out, "# TYPE pw") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped: %s", b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", "route", "/a").Add(2)
+	r.Histogram("lat", "", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []struct {
+				Labels    []Label  `json:"labels"`
+				Value     *float64 `json:"value"`
+				Histogram *struct {
+					Buckets []struct {
+						LE    string `json:"le"`
+						Count uint64 `json:"count"`
+					} `json:"buckets"`
+					Count uint64 `json:"count"`
+				} `json:"histogram"`
+			} `json:"series"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Families) != 2 {
+		t.Fatalf("families = %d, want 2", len(doc.Families))
+	}
+	lat, reqs := doc.Families[0], doc.Families[1]
+	if lat.Name != "lat" || reqs.Name != "reqs_total" {
+		t.Fatalf("family order: %s, %s", lat.Name, reqs.Name)
+	}
+	if *reqs.Series[0].Value != 2 {
+		t.Errorf("counter value = %g", *reqs.Series[0].Value)
+	}
+	h := lat.Series[0].Histogram
+	if h == nil || h.Count != 1 || len(h.Buckets) != 2 || h.Buckets[1].LE != "+Inf" {
+		t.Errorf("histogram JSON wrong: %+v", h)
+	}
+	// JSON buckets are cumulative.
+	if h.Buckets[0].Count != 1 || h.Buckets[1].Count != 1 {
+		t.Errorf("buckets not cumulative: %+v", h.Buckets)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(url, accept string) (int, string, string) {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := get(srv.URL, "")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "c 1") {
+		t.Errorf("text scrape: %d %s %q", code, ct, body)
+	}
+	code, ct, body = get(srv.URL+"?format=json", "")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") || !strings.Contains(body, `"families"`) {
+		t.Errorf("json scrape: %d %s %q", code, ct, body)
+	}
+	if code, ct, _ = get(srv.URL, "application/json"); code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("accept negotiation: %d %s", code, ct)
+	}
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDefaultRegistryExists(t *testing.T) {
+	// Default is shared process state: only prove it is usable.
+	c := Default.Counter("metrics_selftest_total", "package self-test")
+	before := c.Value()
+	c.Inc()
+	if c.Value() != before+1 {
+		t.Error("default registry counter did not move")
+	}
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRaceRegistry hammers get-or-create, every instrument kind, and both
+// exposition writers from many goroutines at once. Run under -race (the CI
+// race pass includes this package) it proves the registry is safe to share
+// between request handlers and the scrape path.
+func TestRaceRegistry(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("reqs_total", "r", "route", fmt.Sprintf("/r%d", i%3)).Inc()
+				g := r.Gauge("inflight", "g")
+				g.Inc()
+				r.Histogram("lat_seconds", "h", []float64{0.001, 0.1, 1}).Observe(float64(i%7) / 10)
+				g.Dec()
+				if i%50 == 0 {
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+					if err := r.WriteJSON(io.Discard); err != nil {
+						t.Errorf("WriteJSON: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, route := range []string{"/r0", "/r1", "/r2"} {
+		total += r.Counter("reqs_total", "r", "route", route).Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Errorf("counted %d increments, want %d", total, want)
+	}
+	if h := r.Histogram("lat_seconds", "h", []float64{0.001, 0.1, 1}); h.Snapshot().Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Snapshot().Count, workers*iters)
+	}
+	if g := r.Gauge("inflight", "g").Value(); g > 1e-9 || g < -1e-9 {
+		t.Errorf("inflight gauge = %g, want 0", g)
+	}
+}

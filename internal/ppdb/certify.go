@@ -6,6 +6,20 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Certification call counters by answer path (DESIGN.md §10): incremental
+// (ledger snapshot), full (the O(N) recompute — also the fallback the
+// ledgerless paths of Certify/CertifySummary land on), and summary (the
+// O(1) aggregate read).
+var (
+	mCertifyIncremental = metrics.Default.Counter("ppdb_certify_total",
+		"certifications by answer path", "path", "incremental")
+	mCertifyFull = metrics.Default.Counter("ppdb_certify_total",
+		"certifications by answer path", "path", "full")
+	mCertifySummary = metrics.Default.Counter("ppdb_certify_total",
+		"certifications by answer path", "path", "summary")
 )
 
 // Certification is the α-PPDB assessment of the database at a point in time
@@ -60,6 +74,7 @@ func (d *DB) Certify(alpha float64) (*Certification, error) {
 	if d.ledger == nil {
 		return d.CertifyFull(alpha)
 	}
+	mCertifyIncremental.Inc()
 	d.mu.RLock()
 	policy := d.policy
 	now := d.now
@@ -77,6 +92,7 @@ func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
 	if err := checkAlpha(alpha); err != nil {
 		return nil, err
 	}
+	mCertifyFull.Inc()
 	d.mu.RLock()
 	policy := d.policy
 	assessor := d.assessor
@@ -116,6 +132,7 @@ func (d *DB) CertifySummary(alpha float64) (*CertificationSummary, error) {
 			MinAlpha:        cert.Report.PW,
 		}, nil
 	}
+	mCertifySummary.Inc()
 	d.mu.RLock()
 	policy := d.policy
 	now := d.now

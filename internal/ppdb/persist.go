@@ -13,8 +13,24 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/policydsl"
 	"repro/internal/relational"
+)
+
+// Persistence instrumentation (DESIGN.md §10): wall-clock histograms for
+// the crash-safe save and the manifest-verified load, an error counter
+// for failed saves, and a counter for loads that had to fall back to the
+// previous generation — the signal that the newest snapshot was torn.
+var (
+	mSaveSeconds = metrics.Default.Histogram("ppdb_snapshot_save_seconds",
+		"duration of successful crash-safe snapshot saves", metrics.DefBuckets)
+	mLoadSeconds = metrics.Default.Histogram("ppdb_snapshot_load_seconds",
+		"duration of successful snapshot loads (including fallbacks)", metrics.DefBuckets)
+	mSaveErrors = metrics.Default.Counter("ppdb_snapshot_save_errors_total",
+		"snapshot saves that failed (the live generation is untouched)")
+	mLoadFallbacks = metrics.Default.Counter("ppdb_snapshot_load_fallbacks_total",
+		"loads that fell back to the previous generation because the newest was unusable")
 )
 
 // Durability: Save writes the PPDB's full logical state — policy, provider
@@ -81,13 +97,19 @@ type tableJSON struct {
 // state, keeping the displaced generation at <dir>.prev. On error the
 // snapshot at dir (if any) is untouched.
 func (d *DB) Save(dir string) error {
+	start := time.Now()
 	d.mu.RLock()
 	artifacts, savedAt, err := d.renderLocked()
 	d.mu.RUnlock()
+	if err == nil {
+		err = writeSnapshot(dir, artifacts, savedAt)
+	}
 	if err != nil {
+		mSaveErrors.Inc()
 		return err
 	}
-	return writeSnapshot(dir, artifacts, savedAt)
+	mSaveSeconds.Observe(time.Since(start).Seconds())
+	return nil
 }
 
 // renderLocked serializes the full state into artifact bytes keyed by
@@ -313,18 +335,22 @@ func syncDirs(dirs ...string) error {
 // (hierarchies, retention, options, scales); its Policy and Start fields
 // are ignored — the saved policy and clock win.
 func Load(dir string, cfg Config) (*DB, error) {
+	start := time.Now()
 	db, err := loadSnapshot(dir, cfg)
 	if err == nil {
+		mLoadSeconds.Observe(time.Since(start).Seconds())
 		return db, nil
 	}
 	prev := dir + prevSuffix
 	if _, statErr := os.Stat(filepath.Join(prev, manifestName)); statErr != nil {
 		return nil, err
 	}
+	mLoadFallbacks.Inc()
 	db, prevErr := loadSnapshot(prev, cfg)
 	if prevErr != nil {
 		return nil, fmt.Errorf("ppdb: load: snapshot unusable (%v); previous generation also unusable: %w", err, prevErr)
 	}
+	mLoadSeconds.Observe(time.Since(start).Seconds())
 	return db, nil
 }
 

@@ -21,9 +21,37 @@ import (
 	"repro/internal/core"
 	"repro/internal/generalize"
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/privacy"
 	"repro/internal/relational"
 )
+
+// Instrumentation (DESIGN.md §10): the paper's headline population
+// quantities as live gauges, refreshed on every mutation that can move
+// them. One server process holds one live DB; with several DBs in one
+// process (tests), the last mutator wins.
+var (
+	mProviders = metrics.Default.Gauge("ppdb_providers",
+		"registered data providers (the population size N)")
+	mPW = metrics.Default.Gauge("ppdb_pw",
+		"current P(W), the fraction of providers with at least one violation (Def. 2); ledger-backed DBs only")
+	mPDefault = metrics.Default.Gauge("ppdb_pdefault",
+		"current P(Default), the fraction of providers whose severity exceeds their threshold (Def. 5); ledger-backed DBs only")
+)
+
+// publishGaugesLocked refreshes the population gauges from the ledger
+// aggregates (O(1)). Without a ledger only the provider count is
+// published — recomputing P(W) per mutation would be the O(N) cost
+// DisableIncremental opted out of.
+func (d *DB) publishGaugesLocked() {
+	mProviders.Set(float64(len(d.providers)))
+	if d.ledger == nil {
+		return
+	}
+	sum := d.ledger.Summary()
+	mPW.Set(sum.PW)
+	mPDefault.Set(sum.PDefault)
+}
 
 // rowMeta tracks per-row provenance: who provided it and when.
 type rowMeta struct {
@@ -176,6 +204,7 @@ func New(cfg Config) (*DB, error) {
 		}
 		d.ledger = led
 	}
+	d.publishGaugesLocked() // no lock needed: d is not yet shared
 	return d, nil
 }
 
@@ -267,6 +296,7 @@ func (d *DB) registerLocked(p *privacy.Prefs) {
 	if d.ledger != nil {
 		d.ledger.Upsert(key, p, d.prefsVersion)
 	}
+	d.publishGaugesLocked()
 }
 
 // RegisterProviders records a batch of providers atomically: every
@@ -294,6 +324,7 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 	if d.ledger != nil {
 		d.ledger.UpsertBatch(items)
 	}
+	d.publishGaugesLocked()
 	return nil
 }
 
@@ -350,6 +381,7 @@ func (d *DB) RemoveProvider(name string) int {
 			}
 		}
 	}
+	d.publishGaugesLocked()
 	return removed
 }
 
@@ -434,5 +466,6 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	d.assessor = after
 	d.policy = next
 	d.policyLog = append(d.policyLog, change)
+	d.publishGaugesLocked()
 	return change, nil
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Coverage gate: runs the full test suite with an atomic-mode coverage
+# profile (written to coverage.out for CI artifact upload) and enforces a
+# minimum statement coverage on the paper-core packages — the violation
+# model (internal/core), the incremental ledger (internal/ledger) and the
+# PPDB itself (internal/ppdb). Other packages are reported but not gated.
+#
+# COVER_THRESHOLD overrides the minimum percentage (default 70).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -covermode=atomic -coverprofile=coverage.out ./...)
+printf '%s\n' "$out"
+echo
+
+printf '%s\n' "$out" | awk -v min="${COVER_THRESHOLD:-70}" '
+/^ok/ && /coverage:/ {
+	for (i = 1; i <= NF; i++)
+		if ($i == "coverage:") { pct = $(i + 1); sub(/%/, "", pct); cov[$2] = pct + 0 }
+}
+END {
+	fail = 0
+	n = split("repro/internal/core repro/internal/ledger repro/internal/ppdb", gated, " ")
+	for (i = 1; i <= n; i++) {
+		p = gated[i]
+		if (!(p in cov)) {
+			printf "cover: %-24s no coverage reported (package vanished?)\n", p
+			fail = 1
+			continue
+		}
+		verdict = (cov[p] >= min) ? "ok" : "BELOW THRESHOLD"
+		printf "cover: %-24s %6.1f%%  %s\n", p, cov[p], verdict
+		if (cov[p] < min) fail = 1
+	}
+	if (fail) {
+		printf "cover: FAIL (minimum %s%%)\n", min
+		exit 1
+	}
+	printf "cover: OK (minimum %s%%)\n", min
+}'
