@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint check ci test race faults bench bench-all benchgate experiments cover
+.PHONY: all build vet lint check ci test race faults bench bench-shards bench-all benchgate experiments cover
 
 all: build vet test
 
@@ -42,9 +42,16 @@ faults:
 		./internal/fault/... ./internal/ppdb/... ./internal/httpapi/... ./cmd/ppdbserver/... .
 
 # bench runs the certification benches and records BENCH_certify.json
-# (cold vs incremental ledger certification). Not part of `make check`.
+# (cold vs incremental ledger certification, plus the per-shard-count
+# sharding benches). Not part of `make check`.
 bench:
 	./scripts/bench.sh
+
+# bench-shards re-records only the sharding benches (cold certify and bulk
+# ingest at 1/4/GOMAXPROCS shards); other BENCH_certify.json entries are
+# carried over unchanged.
+bench-shards:
+	BENCH_PATTERN='^Benchmark(CertifyColdShards|BulkIngestShards)' ./scripts/bench.sh
 
 # bench-all runs every benchmark in the repo.
 bench-all:

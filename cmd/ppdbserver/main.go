@@ -9,10 +9,16 @@
 //
 // Then:
 //
-//	curl -X POST localhost:8080/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
-//	curl localhost:8080/certify?alpha=0.1
-//	curl localhost:8080/healthz
-//	curl localhost:8080/metrics
+//	curl -X POST localhost:8080/v1/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
+//	curl localhost:8080/v1/certify?alpha=0.1
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/metrics
+//
+// (The pre-/v1 unversioned paths still answer, with a Deprecation: true
+// header; see API.md.) -shards controls how many provider-store/ledger
+// shards back the DB — 0, the default, means one per CPU; 1 reproduces the
+// serial pre-sharding behavior. Certification output is byte-identical for
+// every value.
 //
 // Lifecycle: the listener runs under an http.Server with read/write/idle
 // timeouts; SIGINT/SIGTERM flips /readyz to 503, drains in-flight requests
@@ -62,17 +68,18 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it firewalled)")
 	accessLog := flag.Bool("access-log", true, "log one structured key=value line per request")
+	shards := flag.Int("shards", 0, "provider-store/ledger shards and certification fan-out width (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	var db *ppdb.DB
 	var err error
 	if *load != "" {
-		db, err = ppdb.Load(*load, ppdb.Config{})
+		db, err = ppdb.Load(*load, ppdb.Config{Shards: *shards})
 		if *snapshotDir == "" {
 			*snapshotDir = *load
 		}
 	} else {
-		db, err = build(*corpus, *table, *key, *cols)
+		db, err = build(*corpus, *table, *key, *cols, *shards)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
@@ -189,7 +196,7 @@ func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, ev
 }
 
 // build assembles the PPDB from the flags.
-func build(corpusPath, table, key, cols string) (*ppdb.DB, error) {
+func build(corpusPath, table, key, cols string, shards int) (*ppdb.DB, error) {
 	if corpusPath == "" {
 		return nil, fmt.Errorf("-corpus is required")
 	}
@@ -204,7 +211,7 @@ func build(corpusPath, table, key, cols string) (*ppdb.DB, error) {
 	if doc.Policy == nil {
 		return nil, fmt.Errorf("corpus has no policy block")
 	}
-	db, err := ppdb.New(ppdb.Config{Policy: doc.Policy, AttrSens: doc.AttrSens})
+	db, err := ppdb.New(ppdb.Config{Policy: doc.Policy, AttrSens: doc.AttrSens, Shards: shards})
 	if err != nil {
 		return nil, err
 	}

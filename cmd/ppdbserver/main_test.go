@@ -19,7 +19,7 @@ import (
 
 func TestBuildAndServe(t *testing.T) {
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	db, err := build(corpus, "records", "provider", "weight,condition")
+	db, err := build(corpus, "records", "provider", "weight,condition", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,24 +46,24 @@ func TestBuildAndServe(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := build("", "t", "k", ""); err == nil {
+	if _, err := build("", "t", "k", "", 0); err == nil {
 		t.Error("missing corpus should fail")
 	}
-	if _, err := build("nope.dsl", "t", "k", ""); err == nil {
+	if _, err := build("nope.dsl", "t", "k", "", 0); err == nil {
 		t.Error("unreadable corpus should fail")
 	}
 	tmp := filepath.Join(t.TempDir(), "noprov.dsl")
 	if err := writeFile(tmp, `provider "a" threshold 5 { }`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := build(tmp, "t", "k", ""); err == nil {
+	if _, err := build(tmp, "t", "k", "", 0); err == nil {
 		t.Error("policyless corpus should fail")
 	}
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	if _, err := build(corpus, "t", "", "a"); err == nil {
+	if _, err := build(corpus, "t", "", "a", 0); err == nil {
 		t.Error("empty key column should fail")
 	}
-	if _, err := build(corpus, "t", "k", "k"); err == nil {
+	if _, err := build(corpus, "t", "k", "k", 0); err == nil {
 		t.Error("duplicate column should fail")
 	}
 }
@@ -76,7 +76,7 @@ func TestLoadBoot(t *testing.T) {
 	// Save a built DB and boot from the snapshot directory, as
 	// `ppdbserver -load` does; an empty directory must fail.
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	db, err := build(corpus, "records", "provider", "weight")
+	db, err := build(corpus, "records", "provider", "weight", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestLoadBoot(t *testing.T) {
 // its body one half at a time over a raw connection.
 func TestServeGracefulDrain(t *testing.T) {
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	db, err := build(corpus, "records", "provider", "weight")
+	db, err := build(corpus, "records", "provider", "weight", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestServeGracefulDrain(t *testing.T) {
 // without any signal involved.
 func TestServePeriodicSnapshot(t *testing.T) {
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	db, err := build(corpus, "records", "provider", "weight")
+	db, err := build(corpus, "records", "provider", "weight", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestPprofHandler(t *testing.T) {
 
 	// The service handler must not expose the debug routes.
 	corpus := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	db, err := build(corpus, "records", "provider", "weight")
+	db, err := build(corpus, "records", "provider", "weight", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

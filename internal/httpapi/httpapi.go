@@ -1,37 +1,51 @@
 // Package httpapi exposes a PPDB over HTTP with JSON bodies — the service
-// face of the α-PPDB prototype. Endpoints:
+// face of the α-PPDB prototype. The API is versioned under /v1 (see API.md
+// for the full reference):
 //
-//	POST /query      {requester, purpose, visibility, sql} → {columns, rows}
-//	GET  /certify?alpha=0.1                                → certification
-//	GET  /certify/summary?alpha=0.1                        → aggregate-only certification (O(1) from the ledger)
-//	GET  /policy                                           → current policy
-//	PUT  /policy     DSL document with one policy block    → policy change
-//	POST /providers  DSL document with provider blocks     → count registered
-//	GET  /audit                                            → access records
-//	POST /sweep                                            → retention sweep
-//	POST /load?table=T   CSV body with a header row        → rows loaded
-//	GET  /self/audit?provider=N                            → personal violation report
-//	GET  /self/data?provider=N                             → the provider's own rows
-//	GET  /healthz                                          → liveness probe
-//	GET  /readyz                                           → readiness probe (503 while draining)
-//	GET  /metrics                                          → Prometheus-text exposition (?format=json for JSON)
+//	POST /v1/query            {requester, purpose, visibility, sql} → {columns, rows}
+//	GET  /v1/certify?alpha=0.1                                      → certification
+//	GET  /v1/certify/summary?alpha=0.1                              → aggregate-only certification (O(1) from the ledger)
+//	GET  /v1/policy                                                 → current policy (DSL text)
+//	PUT  /v1/policy           DSL document with one policy block    → policy change
+//	GET  /v1/providers?prefix=&offset=&limit=                       → paginated provider keys
+//	POST /v1/providers        DSL document with provider blocks     → count registered
+//	POST /v1/providers/batch  large DSL document (bulk ingest)      → count registered + shard fan-out
+//	GET  /v1/audit?prefix=&offset=&limit=                           → paginated access records
+//	POST /v1/sweep                                                  → retention sweep
+//	POST /v1/load?table=T     CSV body with a header row            → rows loaded
+//	GET  /v1/self/audit?provider=N                                  → personal violation report
+//	GET  /v1/self/data?provider=N                                   → the provider's own rows
+//	GET  /v1/healthz                                                → liveness probe
+//	GET  /v1/readyz                                                 → readiness probe (503 while draining)
+//	GET  /v1/metrics                                                → Prometheus-text exposition (?format=json for JSON)
 //
-// Every response is JSON; policy and preference uploads use the policydsl
-// text format (Content-Type is not enforced). Denied queries return 403
-// with the denial reason, parse errors 400, over-limit bodies 413.
+// Every route is declared once in the route table (method, canonical path,
+// legacy alias, body cap, cap/metrics bypass, handler); the unversioned
+// paths of the pre-/v1 surface are thin aliases onto the same handlers and
+// answer identically except for a "Deprecation: true" response header.
+//
+// Errors share one JSON envelope, {"error":{"code","message","detail"}},
+// on every path that can produce one: 400s, 403s, 404s for unknown routes,
+// 405s (with an Allow header naming the methods the route table declares),
+// 413s from body caps, panic-500s and shed-503s. Policy and preference
+// uploads use the policydsl text format (Content-Type is not enforced).
 //
 // Lifecycle hardening (DESIGN.md §9): every request passes through a
 // panic-recovery wrapper (a handler panic is logged with its stack and
-// answered with a JSON 500; the server keeps serving) and an in-flight
-// cap that sheds excess load with a JSON 503 + Retry-After rather than
-// letting a pile-up take the process down. /healthz, /readyz and /metrics
-// bypass the cap so a saturated server still answers its load balancer
-// and its scraper.
+// answered with an envelope 500; the server keeps serving) and an
+// in-flight cap that sheds excess load with an envelope 503 + Retry-After
+// rather than letting a pile-up take the process down. Routes marked
+// Bypass in the table — the probes and the metrics scrape, under both
+// their /v1 and legacy paths — skip the cap so a saturated server still
+// answers its load balancer and its scraper.
 //
 // Observability (DESIGN.md §10): every capped request is measured — a
 // per-route/status-class request counter, an in-flight gauge, a per-route
 // latency histogram, and dedicated shed/panic counters — published to the
-// metrics registry /metrics serves. Options.RequestLog adds one
+// metrics registry /v1/metrics serves. Request metrics are labeled with
+// the route's canonical /v1 path (legacy aliases share their canonical
+// route's series; unknown paths collapse to "other", so a scan of random
+// URLs cannot mint unbounded series). Options.RequestLog adds one
 // structured key=value line per request.
 package httpapi
 
@@ -44,7 +58,9 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +76,23 @@ import (
 // not set one.
 const DefaultMaxInFlight = 1024
 
+// Pagination defaults for the list endpoints (/v1/providers, /v1/audit):
+// a request without ?limit= gets DefaultPageLimit rows, and no request
+// gets more than MaxPageLimit — the bounded-response guarantee at
+// million-provider scale.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// Body caps, declared once here and applied centrally by the route table.
+const (
+	maxJSONBody  = 1 << 20  // POST /v1/query
+	maxDSLBody   = 1 << 20  // PUT /v1/policy, POST /v1/providers
+	maxBatchBody = 32 << 20 // POST /v1/providers/batch (bulk ingest)
+	maxCSVBody   = 8 << 20  // POST /v1/load
+)
+
 // Options tunes the hardening knobs. The zero value is production-ready.
 type Options struct {
 	// MaxInFlight caps concurrently served requests; excess requests are
@@ -68,19 +101,50 @@ type Options struct {
 	// Logger receives panic reports; nil means log.Default().
 	Logger *log.Logger
 	// Metrics is the registry the request instrumentation publishes to
-	// and GET /metrics serves; nil means metrics.Default (which also
+	// and GET /v1/metrics serves; nil means metrics.Default (which also
 	// carries the ledger/ppdb/fault instrumentation of this process).
 	Metrics *metrics.Registry
 	// RequestLog, when non-nil, receives one structured key=value line
-	// per measured request (probes and /metrics are exempt). nil
+	// per measured request (probes and /v1/metrics are exempt). nil
 	// disables request logging.
 	RequestLog *log.Logger
+}
+
+// routeDef declares one route: everything the dispatcher needs to know
+// about it lives here — method, canonical /v1 path, optional legacy alias,
+// request-body cap, whether it bypasses the in-flight cap and
+// instrumentation, and the handler.
+type routeDef struct {
+	Method string
+	Path   string // canonical /v1 path; also the metric route label
+	Legacy string // unversioned alias ("" = none); answers with Deprecation: true
+	// MaxBody caps the request body via http.MaxBytesReader (0 = no body
+	// expected, no reader installed). Exceeding it yields an envelope 413.
+	MaxBody int64
+	// Bypass marks probe/scrape routes that skip the in-flight cap and the
+	// request instrumentation — a saturated server still answers its load
+	// balancer, and a scrape never perturbs the numbers it reads. The
+	// bypass follows the route, so /v1 aliases and legacy paths share it.
+	Bypass  bool
+	Handler http.HandlerFunc
+}
+
+// pathEntry is the dispatch state for one URL path: the routes (by method)
+// mounted there, the precomputed Allow header, and whether requests to
+// this spelling of the path are deprecated (legacy alias) or bypass the
+// cap.
+type pathEntry struct {
+	route      string // canonical /v1 path, the metric label
+	methods    map[string]*routeDef
+	allow      string // sorted, comma-separated methods for 405s
+	bypass     bool
+	deprecated bool
 }
 
 // Server wraps a PPDB with an http.Handler.
 type Server struct {
 	db       *ppdb.DB
-	mux      *http.ServeMux
+	paths    map[string]*pathEntry
 	logger   *log.Logger
 	reqLog   *log.Logger
 	inflight chan struct{} // semaphore: one slot per in-flight request
@@ -116,7 +180,6 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 	}
 	s := &Server{
 		db:       db,
-		mux:      http.NewServeMux(),
 		logger:   opts.Logger,
 		reqLog:   opts.RequestLog,
 		inflight: make(chan struct{}, opts.MaxInFlight),
@@ -128,44 +191,76 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 		panicTotal: opts.Metrics.Counter("httpapi_panics_total",
 			"handler panics recovered into JSON 500s"),
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/certify", s.handleCertify)
-	s.mux.HandleFunc("/certify/summary", s.handleCertifySummary)
-	s.mux.HandleFunc("/policy", s.handlePolicy)
-	s.mux.HandleFunc("/providers", s.handleProviders)
-	s.mux.HandleFunc("/audit", s.handleAudit)
-	s.mux.HandleFunc("/sweep", s.handleSweep)
-	s.mux.HandleFunc("/load", s.handleLoad)
-	s.mux.HandleFunc("/self/audit", s.handleSelfAudit)
-	s.mux.HandleFunc("/self/data", s.handleSelfData)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.Handle("/metrics", opts.Metrics.Handler())
+	s.buildPaths(opts.Metrics.Handler().ServeHTTP)
 	s.ready.Store(true)
 	return s, nil
+}
+
+// routeTable is the single source of truth for the HTTP surface: one entry
+// per (method, route). Everything else — dispatch, method enforcement and
+// the Allow header, body caps, legacy aliases and their Deprecation
+// header, the probe/scrape bypass, metric route labels, API.md — derives
+// from this table.
+func (s *Server) routeTable(metricsHandler http.HandlerFunc) []routeDef {
+	return []routeDef{
+		{Method: http.MethodPost, Path: "/v1/query", Legacy: "/query", MaxBody: maxJSONBody, Handler: s.handleQuery},
+		{Method: http.MethodGet, Path: "/v1/certify", Legacy: "/certify", Handler: s.handleCertify},
+		{Method: http.MethodGet, Path: "/v1/certify/summary", Legacy: "/certify/summary", Handler: s.handleCertifySummary},
+		{Method: http.MethodGet, Path: "/v1/policy", Legacy: "/policy", Handler: s.handlePolicyGet},
+		{Method: http.MethodPut, Path: "/v1/policy", Legacy: "/policy", MaxBody: maxDSLBody, Handler: s.handlePolicyPut},
+		{Method: http.MethodGet, Path: "/v1/providers", Legacy: "/providers", Handler: s.handleProvidersGet},
+		{Method: http.MethodPost, Path: "/v1/providers", Legacy: "/providers", MaxBody: maxDSLBody, Handler: s.handleProvidersPost},
+		{Method: http.MethodPost, Path: "/v1/providers/batch", MaxBody: maxBatchBody, Handler: s.handleProvidersBatch},
+		{Method: http.MethodGet, Path: "/v1/audit", Legacy: "/audit", Handler: s.handleAudit},
+		{Method: http.MethodPost, Path: "/v1/sweep", Legacy: "/sweep", Handler: s.handleSweep},
+		{Method: http.MethodPost, Path: "/v1/load", Legacy: "/load", MaxBody: maxCSVBody, Handler: s.handleLoad},
+		{Method: http.MethodGet, Path: "/v1/self/audit", Legacy: "/self/audit", Handler: s.handleSelfAudit},
+		{Method: http.MethodGet, Path: "/v1/self/data", Legacy: "/self/data", Handler: s.handleSelfData},
+		{Method: http.MethodGet, Path: "/v1/healthz", Legacy: "/healthz", Bypass: true, Handler: s.handleHealthz},
+		{Method: http.MethodGet, Path: "/v1/readyz", Legacy: "/readyz", Bypass: true, Handler: s.handleReadyz},
+		{Method: http.MethodGet, Path: "/v1/metrics", Legacy: "/metrics", Bypass: true, Handler: metricsHandler},
+	}
+}
+
+// buildPaths expands the route table into the dispatch map: one pathEntry
+// per canonical path and one per legacy alias, sharing routeDefs so the
+// two spellings cannot drift apart.
+func (s *Server) buildPaths(metricsHandler http.HandlerFunc) {
+	table := s.routeTable(metricsHandler)
+	s.paths = make(map[string]*pathEntry)
+	entry := func(path, route string, deprecated bool) *pathEntry {
+		e, ok := s.paths[path]
+		if !ok {
+			e = &pathEntry{route: route, methods: make(map[string]*routeDef), deprecated: deprecated}
+			s.paths[path] = e
+		}
+		return e
+	}
+	for i := range table {
+		rd := &table[i]
+		e := entry(rd.Path, rd.Path, false)
+		e.methods[rd.Method] = rd
+		e.bypass = e.bypass || rd.Bypass
+		if rd.Legacy != "" {
+			le := entry(rd.Legacy, rd.Path, true)
+			le.methods[rd.Method] = rd
+			le.bypass = le.bypass || rd.Bypass
+		}
+	}
+	for _, e := range s.paths {
+		ms := make([]string, 0, len(e.methods))
+		for m := range e.methods {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		e.allow = strings.Join(ms, ", ")
+	}
 }
 
 // SetReady flips the /readyz verdict. The server main drops readiness
 // before draining so load balancers stop routing new work here while
 // in-flight requests finish.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
-
-// routes is the measured route table: request counters and latency
-// histograms are labeled with one of these (or "other"), never the raw
-// request path, so a scan of random URLs cannot mint unbounded series.
-var routes = map[string]bool{
-	"/query": true, "/certify": true, "/certify/summary": true,
-	"/policy": true, "/providers": true, "/audit": true, "/sweep": true,
-	"/load": true, "/self/audit": true, "/self/data": true,
-}
-
-// routeOf collapses a request path to its metric label.
-func routeOf(path string) string {
-	if routes[path] {
-		return path
-	}
-	return "other"
-}
 
 // classOf collapses a status code to its class label ("2xx", "5xx", ...).
 func classOf(code int) string {
@@ -208,18 +303,21 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// ServeHTTP implements http.Handler: probe/scrape bypass, request
-// instrumentation, load shedding, panic recovery, then the route table.
+// ServeHTTP implements http.Handler: route lookup, probe/scrape bypass,
+// request instrumentation, load shedding, panic recovery, then dispatch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
-	case "/healthz", "/readyz", "/metrics":
-		// Probes and scrapes bypass the cap and the instrumentation: a
-		// saturated server still answers its load balancer, and a scrape
-		// never perturbs the numbers it reads.
-		s.mux.ServeHTTP(w, r)
+	entry := s.paths[r.URL.Path]
+	if entry != nil && entry.bypass {
+		// Probes and scrapes bypass the cap and the instrumentation —
+		// derived from the route table, so /v1 spellings and legacy
+		// aliases bypass alike.
+		s.serveRoute(w, r, entry)
 		return
 	}
-	route := routeOf(r.URL.Path)
+	route := "other"
+	if entry != nil {
+		route = entry.route
+	}
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w}
 	s.inFlight.Inc()
@@ -269,12 +367,74 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeErr(sw, http.StatusInternalServerError, err)
 		return
 	}
-	s.mux.ServeHTTP(sw, r)
+	if entry == nil {
+		writeErrDetail(sw, http.StatusNotFound,
+			fmt.Errorf("no such route %s", r.URL.Path), "see API.md for the /v1 route list")
+		return
+	}
+	s.serveRoute(sw, r, entry)
 }
 
-// errorBody is the uniform error envelope.
+// serveRoute enforces the route table for one matched path: method check
+// (405 + Allow on mismatch), the Deprecation header on legacy aliases, the
+// declared body cap, then the handler.
+func (s *Server) serveRoute(w http.ResponseWriter, r *http.Request, e *pathEntry) {
+	rd, ok := e.methods[r.Method]
+	if !ok {
+		w.Header().Set("Allow", e.allow)
+		writeErrDetail(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s", r.Method, e.route), "allowed: "+e.allow)
+		return
+	}
+	if e.deprecated {
+		// Legacy unversioned spelling: same handler, same body, plus the
+		// deprecation signal (RFC 9745) pointing clients at /v1.
+		w.Header().Set("Deprecation", "true")
+	}
+	if rd.MaxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, rd.MaxBody)
+	}
+	rd.Handler(w, r)
+}
+
+// errorInfo is the inner object of the uniform error envelope.
+type errorInfo struct {
+	// Code is a stable, machine-readable error class derived from the
+	// status code (e.g. "bad_request", "method_not_allowed").
+	Code string `json:"code"`
+	// Message is the human-readable description of this failure.
+	Message string `json:"message"`
+	// Detail carries optional extra context (allowed methods, body limit).
+	Detail string `json:"detail,omitempty"`
+}
+
+// errorBody is the uniform error envelope: {"error":{"code","message",
+// "detail"}}. Every error-producing path — handler 4xx, unknown-route 404,
+// method 405, body-cap 413, shed 503, panic 500 — answers with it.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorInfo `json:"error"`
+}
+
+// codeOf maps a status code to the envelope's stable error code.
+func codeOf(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusServiceUnavailable:
+		return "at_capacity"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "error"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -287,43 +447,64 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeErrDetail(w, status, err, "")
+}
+
+func writeErrDetail(w http.ResponseWriter, status int, err error, detail string) {
+	writeJSON(w, status, errorBody{Error: errorInfo{
+		Code:    codeOf(status),
+		Message: err.Error(),
+		Detail:  detail,
+	}})
 }
 
 // writeBodyErr maps a request-body read failure to a status: an over-limit
-// body (http.MaxBytesReader tripped) is a 413 naming the limit, anything
-// else a 400.
+// body (the route's MaxBytesReader tripped) is a 413 naming the limit,
+// anything else a 400.
 func writeBodyErr(w http.ResponseWriter, err error) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		writeErrDetail(w, http.StatusRequestEntityTooLarge,
+			errors.New("request body too large"),
+			fmt.Sprintf("limit is %d bytes", tooBig.Limit))
 		return
 	}
 	writeErr(w, http.StatusBadRequest, err)
 }
 
-func methodCheck(w http.ResponseWriter, r *http.Request, method string) bool {
-	if r.Method != method {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", method))
-		return false
+// pageParams parses ?offset= and ?limit= for the list endpoints. limit
+// defaults to DefaultPageLimit and is capped at MaxPageLimit; offset
+// defaults to 0. Negative or non-integer values are rejected.
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	offset, limit = 0, DefaultPageLimit
+	if q := r.URL.Query().Get("offset"); q != "" {
+		v, perr := strconv.Atoi(q)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q: must be a non-negative integer", q)
+		}
+		offset = v
 	}
-	return true
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, perr := strconv.Atoi(q)
+		if perr != nil || v < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q: must be a non-negative integer", q)
+		}
+		limit = v
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	return offset, limit, nil
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is the readiness probe: 200 while accepting work, 503 once
 // the server has begun draining (SetReady(false)).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
@@ -331,7 +512,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// QueryRequest is the POST /query body.
+// QueryRequest is the POST /v1/query body.
 type QueryRequest struct {
 	Requester  string `json:"requester"`
 	Purpose    string `json:"purpose"`
@@ -339,19 +520,16 @@ type QueryRequest struct {
 	SQL        string `json:"sql"`
 }
 
-// QueryResponse is the POST /query result.
+// QueryResponse is the POST /v1/query result.
 type QueryResponse struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodPost) {
-		return
-	}
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeBodyErr(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	res, err := s.db.Query(ppdb.AccessRequest{
@@ -400,9 +578,6 @@ func alphaParam(r *http.Request) (float64, error) {
 }
 
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	alpha, err := alphaParam(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -416,13 +591,10 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cert)
 }
 
-// handleCertifySummary serves GET /certify/summary?alpha=: the aggregate
+// handleCertifySummary serves GET /v1/certify/summary?alpha=: the aggregate
 // certification (N, P(W), P(Default), counts, verdict) without per-provider
-// rows, answered from the violation ledger's running aggregates in O(1).
+// rows, answered from the violation ledger's running aggregates in O(P).
 func (s *Server) handleCertifySummary(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	alpha, err := alphaParam(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -436,87 +608,145 @@ func (s *Server) handleCertifySummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sum)
 }
 
-func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		doc := &policydsl.Document{Policy: s.db.Policy(), Scales: privacy.DefaultScales()}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		//lint:ignore errflow response write failures mean the client hung up; there is no recovery mid-body
-		_, _ = io.WriteString(w, policydsl.Render(doc))
-	case http.MethodPut:
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-		if err != nil {
-			writeBodyErr(w, err)
-			return
-		}
-		doc, err := policydsl.Parse(string(body))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if doc.Policy == nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no policy block"))
-			return
-		}
-		change, err := s.db.SetPolicy(doc.Policy)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, change)
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
-	}
+// handlePolicyGet renders the current policy as DSL text.
+func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
+	doc := &policydsl.Document{Policy: s.db.Policy(), Scales: privacy.DefaultScales()}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//lint:ignore errflow response write failures mean the client hung up; there is no recovery mid-body
+	_, _ = io.WriteString(w, policydsl.Render(doc))
 }
 
-func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		names := make([]string, 0)
-		for _, p := range s.db.Providers() {
-			names = append(names, p.Provider)
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"count": len(names), "providers": names})
-	case http.MethodPost:
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-		if err != nil {
-			writeBodyErr(w, err)
-			return
-		}
-		doc, err := policydsl.Parse(string(body))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if len(doc.Providers) == 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no provider blocks"))
-			return
-		}
-		// Bulk registration: validates the whole batch before storing any
-		// of it and builds the ledger rows across a worker pool.
-		if err := s.db.RegisterProviders(doc.Providers); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]int{"registered": len(doc.Providers)})
-	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
-	}
-}
-
-func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
+// handlePolicyPut swaps the house policy from a DSL document.
+func (s *Server) handlePolicyPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeBodyErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.db.Audit().Records())
+	doc, err := policydsl.Parse(string(body))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if doc.Policy == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("document has no policy block"))
+		return
+	}
+	change, err := s.db.SetPolicy(doc.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, change)
 }
 
-// handleSelfAudit serves GET /self/audit?provider=name: the provider's
+// ProvidersPage is the GET /v1/providers response: one page of canonical
+// provider keys in global sorted order, with the total match count so
+// clients can page through millions of providers in bounded responses.
+type ProvidersPage struct {
+	Total     int      `json:"total"`
+	Offset    int      `json:"offset"`
+	Limit     int      `json:"limit"`
+	Count     int      `json:"count"`
+	Providers []string `json:"providers"`
+}
+
+// handleProvidersGet serves the paginated provider listing:
+// ?prefix= filters by canonical-key prefix, ?offset=/?limit= page through
+// the sorted matches.
+func (s *Server) handleProvidersGet(w http.ResponseWriter, r *http.Request) {
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	total, names := s.db.ProvidersPage(r.URL.Query().Get("prefix"), offset, limit)
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, http.StatusOK, ProvidersPage{
+		Total: total, Offset: offset, Limit: limit, Count: len(names), Providers: names,
+	})
+}
+
+// handleProvidersPost registers the provider blocks of a DSL document.
+func (s *Server) handleProvidersPost(w http.ResponseWriter, r *http.Request) {
+	n, err := s.registerFromDSL(w, r)
+	if err != nil {
+		return // response already written
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"registered": n})
+}
+
+// handleProvidersBatch is the bulk-ingest endpoint: a large DSL document
+// (up to the batch body cap) whose provider blocks are validated as one
+// atomic batch and written with one goroutine per shard.
+func (s *Server) handleProvidersBatch(w http.ResponseWriter, r *http.Request) {
+	n, err := s.registerFromDSL(w, r)
+	if err != nil {
+		return // response already written
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"registered": n, "shards": s.db.ShardCount()})
+}
+
+// registerFromDSL parses provider blocks from the request body and
+// registers them as one atomic batch, fanning out per shard. On error the
+// envelope has been written and a non-nil error is returned.
+func (s *Server) registerFromDSL(w http.ResponseWriter, r *http.Request) (int, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeBodyErr(w, err)
+		return 0, err
+	}
+	doc, err := policydsl.Parse(string(body))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return 0, err
+	}
+	if len(doc.Providers) == 0 {
+		err := fmt.Errorf("document has no provider blocks")
+		writeErr(w, http.StatusBadRequest, err)
+		return 0, err
+	}
+	// Bulk registration: validates the whole batch before storing any of
+	// it, then stores prefs and builds ledger rows one goroutine per shard.
+	if err := s.db.RegisterProviders(doc.Providers); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return 0, err
+	}
+	return len(doc.Providers), nil
+}
+
+// AuditPage is the GET /v1/audit response: one page of access records in
+// log order, with the total match count.
+type AuditPage struct {
+	Total   int                 `json:"total"`
+	Offset  int                 `json:"offset"`
+	Limit   int                 `json:"limit"`
+	Count   int                 `json:"count"`
+	Records []ppdb.AccessRecord `json:"records"`
+}
+
+// handleAudit serves the paginated access log: ?prefix= filters by
+// requester prefix, ?offset=/?limit= page through the matches.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	total, recs := s.db.Audit().Page(r.URL.Query().Get("prefix"), offset, limit)
+	if recs == nil {
+		recs = []ppdb.AccessRecord{}
+	}
+	writeJSON(w, http.StatusOK, AuditPage{
+		Total: total, Offset: offset, Limit: limit, Count: len(recs), Records: recs,
+	})
+}
+
+// handleSelfAudit serves GET /v1/self/audit?provider=name: the provider's
 // personal violation report (w_i, Violation_i, default_i, conflict pairs).
 func (s *Server) handleSelfAudit(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	provider := r.URL.Query().Get("provider")
 	if provider == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?provider="))
@@ -530,12 +760,9 @@ func (s *Server) handleSelfAudit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// handleSelfData serves GET /self/data?provider=name: every row the
+// handleSelfData serves GET /v1/self/data?provider=name: every row the
 // provider contributed, at full granularity (right of access).
 func (s *Server) handleSelfData(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodGet) {
-		return
-	}
 	provider := r.URL.Query().Get("provider")
 	if provider == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?provider="))
@@ -562,19 +789,16 @@ func (s *Server) handleSelfData(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleLoad bulk-loads CSV microdata: POST /load?table=records with the
+// handleLoad bulk-loads CSV microdata: POST /v1/load?table=records with the
 // CSV as the body. Providers named in the provider column must already be
 // registered.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodPost) {
-		return
-	}
 	table := r.URL.Query().Get("table")
 	if table == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing ?table="))
 		return
 	}
-	n, err := s.db.ImportCSV(table, http.MaxBytesReader(w, r.Body, 8<<20))
+	n, err := s.db.ImportCSV(table, r.Body)
 	if err != nil {
 		writeBodyErr(w, err)
 		return
@@ -583,9 +807,6 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if !methodCheck(w, r, http.MethodPost) {
-		return
-	}
 	rep, err := s.db.Sweep()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)

@@ -349,10 +349,9 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler = %d %s", rec.Code, rec.Body)
 	}
-	var body struct {
-		Error string `json:"error"`
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil ||
+		body.Error.Code != "internal" || body.Error.Message == "" {
 		t.Errorf("panic response is not the JSON error envelope: %s", rec.Body)
 	}
 	if !strings.Contains(logged.String(), "httpapi.handler") || !strings.Contains(logged.String(), "goroutine") {
@@ -485,11 +484,10 @@ func TestOversizeBodies413(t *testing.T) {
 		if rec.Code != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s %s = %d, want 413 (%.120s)", method, path, rec.Code, rec.Body)
 		}
-		var envelope struct {
-			Error string `json:"error"`
-		}
+		var envelope errorBody
 		if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil ||
-			!strings.Contains(envelope.Error, "exceeds") {
+			envelope.Error.Code != "payload_too_large" ||
+			!strings.Contains(envelope.Error.Detail, "limit is") {
 			t.Errorf("%s %s 413 body not the JSON envelope: %s", method, path, rec.Body)
 		}
 	}

@@ -150,16 +150,16 @@ func TestMetricsEndToEnd(t *testing.T) {
 
 	// Exact deltas where the traffic is deterministic, lower bounds where
 	// the poll loops add 2xx/5xx traffic of their own.
-	if d := delta(`httpapi_requests_total{class="2xx",route="/certify"}`); d < 2 {
+	if d := delta(`httpapi_requests_total{class="2xx",route="/v1/certify"}`); d < 2 {
 		t.Errorf("2xx /certify moved %g, want >= 2", d)
 	}
-	if d := delta(`httpapi_requests_total{class="4xx",route="/certify"}`); d != 1 {
+	if d := delta(`httpapi_requests_total{class="4xx",route="/v1/certify"}`); d != 1 {
 		t.Errorf("4xx /certify moved %g, want 1", d)
 	}
-	if d := delta(`httpapi_requests_total{class="5xx",route="/certify"}`); d < 2 {
+	if d := delta(`httpapi_requests_total{class="5xx",route="/v1/certify"}`); d < 2 {
 		t.Errorf("5xx /certify moved %g, want >= 2 (one panic, one shed)", d)
 	}
-	if d := delta(`httpapi_requests_total{class="2xx",route="/query"}`); d != 1 {
+	if d := delta(`httpapi_requests_total{class="2xx",route="/v1/query"}`); d != 1 {
 		t.Errorf("2xx /query moved %g, want 1 (the released parked request)", d)
 	}
 	if d := delta("httpapi_panics_total"); d != 1 {
@@ -174,13 +174,13 @@ func TestMetricsEndToEnd(t *testing.T) {
 
 	// The latency histogram accounts for every measured /certify request:
 	// its _count moves in lockstep with the route's request counters.
-	certifyReqs := delta(`httpapi_requests_total{class="2xx",route="/certify"}`) +
-		delta(`httpapi_requests_total{class="4xx",route="/certify"}`) +
-		delta(`httpapi_requests_total{class="5xx",route="/certify"}`)
-	if d := delta(`httpapi_request_seconds_count{route="/certify"}`); d != certifyReqs {
+	certifyReqs := delta(`httpapi_requests_total{class="2xx",route="/v1/certify"}`) +
+		delta(`httpapi_requests_total{class="4xx",route="/v1/certify"}`) +
+		delta(`httpapi_requests_total{class="5xx",route="/v1/certify"}`)
+	if d := delta(`httpapi_request_seconds_count{route="/v1/certify"}`); d != certifyReqs {
 		t.Errorf("histogram count moved %g, request counters moved %g", d, certifyReqs)
 	}
-	if d := delta(`httpapi_request_seconds_bucket{route="/certify",le="+Inf"}`); d != certifyReqs {
+	if d := delta(`httpapi_request_seconds_bucket{route="/v1/certify",le="+Inf"}`); d != certifyReqs {
 		t.Errorf("+Inf bucket moved %g, want %g", d, certifyReqs)
 	}
 
@@ -198,7 +198,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// The request log carries structured lines for the measured traffic —
 	// including the shed 503 — but never for the scrape itself.
 	logged := reqLog.String()
-	if !strings.Contains(logged, `event=request method=GET path=/certify route=/certify status=200`) {
+	if !strings.Contains(logged, `event=request method=GET path=/certify route=/v1/certify status=200`) {
 		t.Errorf("request log missing the certify line:\n%s", logged)
 	}
 	if !strings.Contains(logged, "status=503") {

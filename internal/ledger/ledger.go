@@ -8,29 +8,39 @@
 // costs one re-assessment (O(changed)), and the population answer is read
 // from the aggregates in O(1) instead of recomputed over all N providers.
 //
+// Sharding (DESIGN.md §11): the same independence makes the view
+// embarrassingly parallel, so the ledger is carved into P shards by FNV-1a
+// hash of the canonical provider key (core.ShardIndex). Each shard owns its
+// lock, its memo table, its sorted key list and its running core.Partial,
+// so point upserts on different shards never contend, and the bulk paths —
+// UpsertBatch (cold loads) and Rebuild (policy swaps) — run one goroutine
+// per shard.
+//
 // Invalidation rules:
 //
 //   - a provider's row is recomputed when its prefs version changes
-//     (self-service edit, re-registration) — O(1) per edit;
+//     (self-service edit, re-registration) — O(1) per edit, one shard lock;
 //   - a policy swap bumps the policy version and invalidates every row —
-//     Rebuild re-assesses the whole population, fanned out across a
-//     bounded worker pool (a cold rebuild, also used for load-from-disk);
-//   - a removal subtracts the provider's contribution from the aggregates.
+//     Rebuild re-assesses the whole population, one goroutine per shard
+//     (a cold rebuild, also used for load-from-disk);
+//   - a removal subtracts the provider's contribution from its shard.
 //
 // Exactness: the integer aggregates (N, violated, defaulted — and hence
-// P(W) and P(Default), which are ratios of integers) are always exact.
-// The running float total drifts from a fresh sum by at most accumulated
-// rounding (adds and subtracts in edit order), so Summary is O(1) but
-// last-ulp approximate in TotalViolations; Snapshot re-sums the memoized
-// rows in sorted provider order and is bit-identical to a full recompute
-// over the same sorted population.
+// P(W) and P(Default), which are ratios of integers) are always exact and
+// independent of the shard layout. The running float totals drift from a
+// fresh sum by at most accumulated rounding (adds and subtracts in edit
+// order, merged in fixed shard-index order), so Summary is O(P) but
+// last-ulp approximate in TotalViolations; Snapshot merges the shards'
+// sorted rows into global sorted provider order and re-sums in that order,
+// so it is bit-identical to a full recompute over the same sorted
+// population — for every shard count.
 package ledger
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -65,20 +75,29 @@ type entry struct {
 	report        core.ProviderReport
 }
 
-// Ledger is the materialized violation view. Safe for concurrent use.
+// shard is one lock domain of the materialized view: the providers whose
+// canonical key hashes to this index, with their own running aggregates.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	keys    []string // sorted; kept in lockstep with entries
+	agg     core.Partial
+}
+
+// Ledger is the sharded materialized violation view. Safe for concurrent
+// use: point operations lock one shard, structural operations (Rebuild)
+// take the top-level lock exclusively.
 type Ledger struct {
+	// mu guards assessor and policyVersion. Point operations hold it
+	// shared (so the policy cannot swap mid-upsert); Rebuild holds it
+	// exclusively. Lock order is always mu before shard.mu.
 	mu sync.RWMutex
 
 	assessor      *core.Assessor
 	policyVersion uint64
 
-	entries map[string]*entry
-	keys    []string // sorted; kept in lockstep with entries
-
-	// Running aggregates over all entries.
-	violated  int
-	defaulted int
-	total     float64
+	shards []*shard
+	rows   atomic.Int64 // total live entries across shards (gauge feed)
 }
 
 // Item is one (key, prefs, version) triple for batch application.
@@ -88,7 +107,8 @@ type Item struct {
 	Version uint64
 }
 
-// Summary is the O(1) population answer read from the running aggregates.
+// Summary is the O(P) population answer merged from the shards' running
+// partials in fixed shard-index order.
 type Summary struct {
 	N               int
 	ViolatedCount   int     // Σ_i w_i, exact
@@ -99,16 +119,41 @@ type Summary struct {
 	PolicyVersion   uint64
 }
 
-// New builds an empty ledger assessing against a.
+// New builds an empty ledger assessing against a, with one shard per
+// schedulable CPU.
 func New(a *core.Assessor, policyVersion uint64) (*Ledger, error) {
+	return NewSharded(a, policyVersion, 0)
+}
+
+// NewSharded builds an empty ledger with an explicit shard count; 0 means
+// core.DefaultShards(). A 1-shard ledger is the serial pre-sharding layout.
+func NewSharded(a *core.Assessor, policyVersion uint64, shards int) (*Ledger, error) {
 	if a == nil {
 		return nil, fmt.Errorf("ledger: nil assessor")
 	}
-	return &Ledger{
+	if shards < 0 {
+		return nil, fmt.Errorf("ledger: shard count %d must be >= 0", shards)
+	}
+	if shards == 0 {
+		shards = core.DefaultShards()
+	}
+	l := &Ledger{
 		assessor:      a,
 		policyVersion: policyVersion,
-		entries:       make(map[string]*entry),
-	}, nil
+		shards:        make([]*shard, shards),
+	}
+	for i := range l.shards {
+		l.shards[i] = &shard{entries: make(map[string]*entry)}
+	}
+	return l, nil
+}
+
+// ShardCount returns the number of shards the view is carved into.
+func (l *Ledger) ShardCount() int { return len(l.shards) }
+
+// shardOf routes a canonical key to its shard.
+func (l *Ledger) shardOf(key string) *shard {
+	return l.shards[core.ShardIndex(key, len(l.shards))]
 }
 
 // PolicyVersion returns the policy counter the rows are keyed on.
@@ -120,80 +165,99 @@ func (l *Ledger) PolicyVersion() uint64 {
 
 // Len returns the number of materialized providers.
 func (l *Ledger) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.entries)
+	return int(l.rows.Load())
 }
 
 // Upsert applies one provider registration or preference edit: if the
 // memoized row already matches (policy version, prefs version) it is
 // returned untouched; otherwise the provider is re-assessed — O(1), the
-// delta apply — and the aggregates are adjusted.
+// delta apply — and the shard's aggregates are adjusted. Only the
+// provider's shard is locked, so edits on different shards run in
+// parallel.
 func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) core.ProviderReport {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if e, ok := l.entries[key]; ok && e.prefsVersion == prefsVersion && e.policyVersion == l.policyVersion {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := l.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok && e.prefsVersion == prefsVersion && e.policyVersion == l.policyVersion {
 		mMemoHits.Inc()
 		return e.report
 	}
 	mMemoMisses.Inc()
 	rep := l.assessor.AssessOne(prefs)
-	l.applyLocked(key, prefs, prefsVersion, rep)
+	l.applyLocked(s, key, prefs, prefsVersion, rep)
 	return rep
 }
 
-// UpsertBatch applies many registrations at once, fanning the assessments
-// out across a bounded worker pool — the cold-build path for bulk loads.
+// UpsertBatch applies many registrations at once, one goroutine per shard
+// with items — the cold-build path for bulk loads. Assessment and map
+// installation both run inside the owning shard's goroutine, so the whole
+// batch parallelizes, not just the assessment.
 func (l *Ledger) UpsertBatch(items []Item) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	mMemoMisses.Add(uint64(len(items)))
-	reports := make([]core.ProviderReport, len(items))
-	fanOut(len(items), func(i int) {
-		reports[i] = l.assessor.AssessOne(items[i].Prefs)
-	})
-	for i, it := range items {
-		l.applyLocked(it.Key, it.Prefs, it.Version, reports[i])
+	buckets := make([][]Item, len(l.shards))
+	for _, it := range items {
+		i := core.ShardIndex(it.Key, len(l.shards))
+		buckets[i] = append(buckets[i], it)
 	}
+	core.FanOut(len(l.shards), len(l.shards), func(i int) {
+		if len(buckets[i]) == 0 {
+			return
+		}
+		s := l.shards[i]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, it := range buckets[i] {
+			rep := l.assessor.AssessOne(it.Prefs)
+			l.applyLocked(s, it.Key, it.Prefs, it.Version, rep)
+		}
+	})
 }
 
-// Remove drops a provider's row and subtracts its contribution. It reports
-// whether the provider was present.
+// Remove drops a provider's row and subtracts its contribution from its
+// shard. It reports whether the provider was present.
 func (l *Ledger) Remove(key string) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	e, ok := l.entries[key]
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	s := l.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return false
 	}
-	l.subtractLocked(e)
-	delete(l.entries, key)
-	i := sort.SearchStrings(l.keys, key)
-	l.keys = append(l.keys[:i], l.keys[i+1:]...)
-	mRows.Set(float64(len(l.entries)))
+	s.agg.Sub(&e.report)
+	delete(s.entries, key)
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	mRows.Set(float64(l.rows.Add(-1)))
 	return true
 }
 
 // Rebuild invalidates every row against a new assessor (policy swap) and
-// re-assesses the whole population across a bounded worker pool. The
-// aggregates are re-summed from scratch in sorted provider order.
+// re-assesses the whole population, one goroutine per shard. Each shard's
+// aggregates are re-summed from scratch in its sorted key order.
 func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	mRebuilds.Inc()
 	l.assessor = a
 	l.policyVersion = policyVersion
-	reports := make([]core.ProviderReport, len(l.keys))
-	fanOut(len(l.keys), func(i int) {
-		reports[i] = a.AssessOne(l.entries[l.keys[i]].prefs)
+	core.FanOut(len(l.shards), len(l.shards), func(i int) {
+		s := l.shards[i]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.agg = core.Partial{}
+		for _, k := range s.keys {
+			e := s.entries[k]
+			e.report = a.AssessOne(e.prefs)
+			e.policyVersion = policyVersion
+			s.agg.Add(&e.report)
+		}
 	})
-	l.violated, l.defaulted, l.total = 0, 0, 0
-	for i, k := range l.keys {
-		e := l.entries[k]
-		e.report = reports[i]
-		e.policyVersion = policyVersion
-		l.addLocked(e)
-	}
 }
 
 // Report returns the memoized row for one provider — the O(1) per-provider
@@ -201,127 +265,129 @@ func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
 func (l *Ledger) Report(key string) (core.ProviderReport, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	e, ok := l.entries[key]
+	s := l.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
 	if !ok {
 		return core.ProviderReport{}, false
 	}
 	return e.report, true
 }
 
-// Summary answers P(W), P(Default) and the counts from the running
-// aggregates in O(1).
+// Summary answers P(W), P(Default) and the counts by merging the shards'
+// running partials in fixed shard-index order — O(P), no row is touched.
 func (l *Ledger) Summary() Summary {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	s := Summary{
-		N:               len(l.entries),
-		ViolatedCount:   l.violated,
-		DefaultCount:    l.defaulted,
-		TotalViolations: l.total,
+	parts := make([]core.Partial, len(l.shards))
+	for i, s := range l.shards {
+		s.mu.RLock()
+		parts[i] = s.agg
+		s.mu.RUnlock()
+	}
+	m := core.MergePartials(parts)
+	return Summary{
+		N:               m.N,
+		ViolatedCount:   m.ViolatedCount,
+		DefaultCount:    m.DefaultCount,
+		TotalViolations: m.TotalViolations,
+		PW:              m.PW(),
+		PDefault:        m.PDefault(),
 		PolicyVersion:   l.policyVersion,
 	}
-	if s.N > 0 {
-		s.PW = float64(s.ViolatedCount) / float64(s.N)
-		s.PDefault = float64(s.DefaultCount) / float64(s.N)
-	}
-	return s
 }
 
 // Snapshot assembles the full population report from the memoized rows in
-// sorted provider order — O(N) copying, zero re-assessment. The float
-// total is re-summed in that order, so the result is bit-identical to a
-// full recompute over the same sorted population.
+// global sorted provider order — a P-way merge of the shards' sorted key
+// lists, O(N log P) copying, zero re-assessment. The float total is
+// re-summed in that global order, so the result is bit-identical to a full
+// recompute over the same sorted population, for every shard count.
 func (l *Ledger) Snapshot() core.PopulationReport {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	rows := make([]core.ProviderReport, len(l.keys))
-	for i, k := range l.keys {
-		rows[i] = l.entries[k].report
-	}
+	keys, rows := l.mergedRowsLocked()
+	_ = keys
 	return core.AssemblePopulation(rows)
 }
 
 // WouldDefault lists the providers whose Violation_i exceeds their
-// threshold, in sorted key order.
+// threshold, in global sorted key order.
 func (l *Ledger) WouldDefault() []string {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	_, rows := l.mergedRowsLocked()
 	var out []string
-	for _, k := range l.keys {
-		if e := l.entries[k]; e.report.Defaults {
-			out = append(out, e.report.Provider)
+	for i := range rows {
+		if rows[i].Defaults {
+			out = append(out, rows[i].Provider)
 		}
 	}
 	return out
 }
 
-// applyLocked installs a freshly computed report for key, adjusting the
-// aggregates by the delta (subtract the old row, add the new).
-func (l *Ledger) applyLocked(key string, prefs *privacy.Prefs, prefsVersion uint64, rep core.ProviderReport) {
+// mergedRowsLocked snapshots every shard (RLock per shard) and merges the
+// per-shard sorted key lists into one globally sorted sequence of keys and
+// reports. Holding l.mu shared keeps the policy stable; per-shard locks
+// make each shard internally consistent.
+func (l *Ledger) mergedRowsLocked() ([]string, []core.ProviderReport) {
+	type part struct {
+		keys []string
+		rows []core.ProviderReport
+	}
+	parts := make([]part, len(l.shards))
+	total := 0
+	for i, s := range l.shards {
+		s.mu.RLock()
+		p := part{
+			keys: append([]string(nil), s.keys...),
+			rows: make([]core.ProviderReport, len(s.keys)),
+		}
+		for j, k := range s.keys {
+			p.rows[j] = s.entries[k].report
+		}
+		s.mu.RUnlock()
+		parts[i] = p
+		total += len(p.keys)
+	}
+	keys := make([]string, 0, total)
+	rows := make([]core.ProviderReport, 0, total)
+	cursors := make([]int, len(parts))
+	for len(keys) < total {
+		best := -1
+		for i := range parts {
+			if cursors[i] >= len(parts[i].keys) {
+				continue
+			}
+			if best < 0 || parts[i].keys[cursors[i]] < parts[best].keys[cursors[best]] {
+				best = i
+			}
+		}
+		keys = append(keys, parts[best].keys[cursors[best]])
+		rows = append(rows, parts[best].rows[cursors[best]])
+		cursors[best]++
+	}
+	return keys, rows
+}
+
+// applyLocked installs a freshly computed report for key into shard s
+// (whose lock the caller holds), adjusting the shard's aggregates by the
+// delta (subtract the old row, add the new).
+func (l *Ledger) applyLocked(s *shard, key string, prefs *privacy.Prefs, prefsVersion uint64, rep core.ProviderReport) {
 	mDeltaApplies.Inc()
-	defer func() { mRows.Set(float64(len(l.entries))) }()
-	if e, ok := l.entries[key]; ok {
-		l.subtractLocked(e)
+	if e, ok := s.entries[key]; ok {
+		s.agg.Sub(&e.report)
 		e.prefs, e.prefsVersion, e.policyVersion, e.report = prefs, prefsVersion, l.policyVersion, rep
-		l.addLocked(e)
+		s.agg.Add(&e.report)
+		mRows.Set(float64(l.rows.Load()))
 		return
 	}
 	e := &entry{prefs: prefs, prefsVersion: prefsVersion, policyVersion: l.policyVersion, report: rep}
-	l.entries[key] = e
-	i := sort.SearchStrings(l.keys, key)
-	l.keys = append(l.keys, "")
-	copy(l.keys[i+1:], l.keys[i:])
-	l.keys[i] = key
-	l.addLocked(e)
-}
-
-func (l *Ledger) addLocked(e *entry) {
-	if e.report.Violated {
-		l.violated++
-	}
-	if e.report.Defaults {
-		l.defaulted++
-	}
-	l.total += e.report.Violation
-}
-
-func (l *Ledger) subtractLocked(e *entry) {
-	if e.report.Violated {
-		l.violated--
-	}
-	if e.report.Defaults {
-		l.defaulted--
-	}
-	l.total -= e.report.Violation
-}
-
-// fanOut runs f(0..n-1) across a bounded worker pool sized to the
-// machine; n below the bound degrades to one goroutine per index.
-func fanOut(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	s.entries[key] = e
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
+	s.agg.Add(&e.report)
+	mRows.Set(float64(l.rows.Add(1)))
 }

@@ -87,9 +87,13 @@ func TestConcurrentLedger(t *testing.T) {
 	l.Rebuild(a1, 100)
 	snap := l.Snapshot()
 	l.mu.RLock()
-	survivors := make([]*privacy.Prefs, 0, len(l.keys))
-	for _, k := range l.keys {
-		survivors = append(survivors, l.entries[k].prefs)
+	keys, _ := l.mergedRowsLocked()
+	survivors := make([]*privacy.Prefs, 0, len(keys))
+	for _, k := range keys {
+		s := l.shardOf(k)
+		s.mu.RLock()
+		survivors = append(survivors, s.entries[k].prefs)
+		s.mu.RUnlock()
 	}
 	l.mu.RUnlock()
 	want := a1.AssessPopulation(survivors)

@@ -54,13 +54,18 @@ func Render(doc *Document) string {
 
 	for _, prov := range doc.Providers {
 		fmt.Fprintf(&b, "\nprovider %q threshold %g {\n", prov.Provider, prov.Threshold)
-		for _, attr := range prov.Attributes() {
+		for _, attr := range providerAttrs(prov) {
 			fmt.Fprintf(&b, "  attr %s {\n", attr)
 			// Render the per-attribute default sensitivity when it is not
 			// the unit default.
 			purposes := map[privacy.Purpose]bool{}
 			for _, e := range prov.ForAttribute(attr) {
 				purposes[e.Tuple.Purpose] = true
+			}
+			for _, k := range prov.SensitivityKeys() {
+				if k.Attribute == attr && k.Purpose != "" {
+					purposes[k.Purpose] = true
+				}
 			}
 			if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
 				fmt.Fprintf(&b, "    sens value=%g v=%g g=%g r=%g\n",
@@ -87,6 +92,26 @@ func Render(doc *Document) string {
 		b.WriteString("}\n")
 	}
 	return b.String()
+}
+
+// providerAttrs returns the sorted union of a provider's tuple-bearing and
+// sensitivity-bearing attributes: an attribute can carry a σ element with
+// no explicit tuples (it still weighs implicit-zero conflicts), and both
+// encoders must render it or the element is lost on the round trip.
+func providerAttrs(prov *privacy.Prefs) []string {
+	attrs := prov.Attributes()
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		seen[a] = true
+	}
+	for _, k := range prov.SensitivityKeys() {
+		if !seen[k.Attribute] {
+			seen[k.Attribute] = true
+			attrs = append(attrs, k.Attribute)
+		}
+	}
+	sort.Strings(attrs)
+	return attrs
 }
 
 // JSON interchange types. Levels are numeric; the scales give them meaning.
@@ -170,7 +195,7 @@ func MarshalJSON(doc *Document) ([]byte, error) {
 		for _, e := range prov.Entries() {
 			vj.Tuples[e.Attribute] = append(vj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
 		}
-		for _, attr := range prov.Attributes() {
+		for _, attr := range providerAttrs(prov) {
 			if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
 				vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
 					Value: s.Value, Visibility: s.Visibility,
@@ -178,10 +203,24 @@ func MarshalJSON(doc *Document) ([]byte, error) {
 				})
 			}
 			def := prov.Sensitivity(attr, "")
+			purposes := map[privacy.Purpose]bool{}
 			for _, e := range prov.ForAttribute(attr) {
-				if s := prov.Sensitivity(attr, e.Tuple.Purpose); s != def {
+				purposes[e.Tuple.Purpose] = true
+			}
+			for _, k := range prov.SensitivityKeys() {
+				if k.Attribute == attr && k.Purpose != "" {
+					purposes[k.Purpose] = true
+				}
+			}
+			prs := make([]string, 0, len(purposes))
+			for pr := range purposes {
+				prs = append(prs, string(pr))
+			}
+			sort.Strings(prs)
+			for _, pr := range prs {
+				if s := prov.Sensitivity(attr, privacy.Purpose(pr)); s != def {
 					vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
-						Purpose: string(e.Tuple.Purpose),
+						Purpose: pr,
 						Value:   s.Value, Visibility: s.Visibility,
 						Granularity: s.Granularity, Retention: s.Retention,
 					})

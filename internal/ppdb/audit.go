@@ -1,6 +1,7 @@
 package ppdb
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +52,40 @@ func (a *Audit) Records() []AccessRecord {
 	out := make([]AccessRecord, len(a.records))
 	copy(out, a.records)
 	return out
+}
+
+// Page returns the number of records whose Requester starts with prefix
+// (every record when prefix is empty) plus one page of them in log order —
+// the bounded listing the paginated HTTP API serves. offset past the end
+// yields an empty page; limit <= 0 yields no rows (count-only).
+func (a *Audit) Page(prefix string, offset, limit int) (int, []AccessRecord) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var matched []AccessRecord
+	if prefix == "" {
+		matched = a.records
+	} else {
+		for _, r := range a.records {
+			if strings.HasPrefix(r.Requester, prefix) {
+				matched = append(matched, r)
+			}
+		}
+	}
+	total := len(matched)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return total, append([]AccessRecord(nil), matched[offset:end]...)
 }
 
 // Len returns the number of recorded accesses.

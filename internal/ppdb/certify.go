@@ -87,7 +87,9 @@ func (d *DB) Certify(alpha float64) (*Certification, error) {
 // population — the seed O(N) path, kept as the ledger's fallback and as
 // the oracle the equivalence tests compare against. The constructed
 // assessor is cached on the DB (invalidated by SetPolicy), so even this
-// path skips per-call validation and reconstruction.
+// path skips per-call validation and reconstruction; the assessment fans
+// out one worker per shard, with rows landing in sorted-population order
+// so the result is bit-identical to the serial recompute.
 func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
 	if err := checkAlpha(alpha); err != nil {
 		return nil, err
@@ -96,10 +98,11 @@ func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
 	d.mu.RLock()
 	policy := d.policy
 	assessor := d.assessor
-	pop := d.populationLocked()
+	pop := d.populationShared()
 	now := d.now
+	workers := len(d.shards)
 	d.mu.RUnlock()
-	rep := assessor.AssessPopulation(pop)
+	rep := assessor.AssessPopulationParallel(pop, workers)
 	return certification(now, policy.Name, alpha, rep), nil
 }
 

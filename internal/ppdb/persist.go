@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/policydsl"
@@ -114,7 +115,10 @@ func (d *DB) Save(dir string) error {
 
 // renderLocked serializes the full state into artifact bytes keyed by
 // snapshot-relative path. Pure rendering — no IO — so the read lock is
-// held only as long as the state is being walked.
+// held only as long as the state is being walked. Providers render in
+// global sorted key order and each table renders independently (one
+// goroutine per table, capped at the shard fan-out width), so the bytes
+// are deterministic run to run and identical for every shard count.
 func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
 	artifacts := map[string][]byte{}
 
@@ -124,14 +128,7 @@ func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
 		AttrSens: d.attrSens,
 		Scales:   d.scales,
 	}
-	names := make([]string, 0, len(d.providers))
-	for n := range d.providers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		doc.Providers = append(doc.Providers, d.providers[n])
-	}
+	_, doc.Providers = d.sortedProvidersShared()
 	artifacts["corpus.dsl"] = []byte(policydsl.Render(doc))
 
 	state := stateJSON{Now: d.now, Tables: map[string]tableJSON{}}
@@ -142,25 +139,31 @@ func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
 		tableNames = append(tableNames, n)
 	}
 	sort.Strings(tableNames)
-	for _, name := range tableNames {
+	type tableRender struct {
+		schema, data, meta []byte
+		err                error
+	}
+	renders := make([]tableRender, len(tableNames))
+	core.FanOut(len(tableNames), len(d.shards), func(i int) {
+		name := tableNames[i]
 		tm := d.tables[name]
-		state.Tables[name] = tableJSON{ProviderCol: tm.providerCol}
 
 		schemaSQL := fmt.Sprintf("CREATE TABLE %s (%s)", name, tm.table.Schema())
-		artifacts[filepath.Join("tables", name+".schema.sql")] = []byte(schemaSQL + "\n")
+		renders[i].schema = []byte(schemaSQL + "\n")
 
 		var dataBuf, metaBuf strings.Builder
 		metaWriter := csv.NewWriter(&metaBuf)
 		if err := metaWriter.Write([]string{"provider", "inserted"}); err != nil {
-			return nil, time.Time{}, err
+			renders[i].err = err
+			return
 		}
 		// Rows in scan (insertion) order so meta lines align.
 		var scanErr error
 		rowsOut := &relational.Result{}
 		schema := tm.table.Schema()
 		cols := make([]string, schema.Len())
-		for i := range cols {
-			cols[i] = schema.Column(i).Name
+		for j := range cols {
+			cols[j] = schema.Column(j).Name
 		}
 		rowsOut.Columns = cols
 		tm.table.Scan(func(id relational.RowID, row relational.Row) bool {
@@ -177,17 +180,29 @@ func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
 			return true
 		})
 		if scanErr != nil {
-			return nil, time.Time{}, scanErr
+			renders[i].err = scanErr
+			return
 		}
 		metaWriter.Flush()
 		if err := metaWriter.Error(); err != nil {
-			return nil, time.Time{}, err
+			renders[i].err = err
+			return
 		}
 		if err := relational.ExportCSV(rowsOut, &dataBuf); err != nil {
-			return nil, time.Time{}, fmt.Errorf("ppdb: save rows %s: %w", name, err)
+			renders[i].err = fmt.Errorf("ppdb: save rows %s: %w", name, err)
+			return
 		}
-		artifacts[filepath.Join("tables", name+".csv")] = []byte(dataBuf.String())
-		artifacts[filepath.Join("tables", name+".meta.csv")] = []byte(metaBuf.String())
+		renders[i].data = []byte(dataBuf.String())
+		renders[i].meta = []byte(metaBuf.String())
+	})
+	for i, name := range tableNames {
+		if renders[i].err != nil {
+			return nil, time.Time{}, renders[i].err
+		}
+		state.Tables[name] = tableJSON{ProviderCol: d.tables[name].providerCol}
+		artifacts[filepath.Join("tables", name+".schema.sql")] = renders[i].schema
+		artifacts[filepath.Join("tables", name+".csv")] = renders[i].data
+		artifacts[filepath.Join("tables", name+".meta.csv")] = renders[i].meta
 	}
 	stateBytes, err := json.MarshalIndent(state, "", "  ")
 	if err != nil {

@@ -9,6 +9,16 @@
 // policy and preferences. The PPDB adds the enforcement half: the policy is
 // also a ceiling on what queries can return, so the stated policy and the
 // practiced policy coincide (the transparency requirement of Sec. 1).
+//
+// Concurrency (DESIGN.md §11): provider state is sharded by FNV-1a hash of
+// the canonical provider key (core.ShardIndex) into Config.Shards shards,
+// each with its own lock and a matching ledger partition. Point operations
+// on different providers therefore never contend, and the population-scale
+// paths — CertifyFull, bulk registration, policy rebuilds, sweeps, saves —
+// fan out one goroutine per shard. The top-level d.mu still guards the
+// cross-shard state (policy, tables, clock, logs): readers of any shard
+// hold it shared, structural changes hold it exclusively. Lock order is
+// always d.mu → dbShard.mu → ledger locks.
 package ppdb
 
 import (
@@ -16,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,12 +50,13 @@ var (
 		"current P(Default), the fraction of providers whose severity exceeds their threshold (Def. 5); ledger-backed DBs only")
 )
 
-// publishGaugesLocked refreshes the population gauges from the ledger
-// aggregates (O(1)). Without a ledger only the provider count is
-// published — recomputing P(W) per mutation would be the O(N) cost
-// DisableIncremental opted out of.
-func (d *DB) publishGaugesLocked() {
-	mProviders.Set(float64(len(d.providers)))
+// publishGauges refreshes the population gauges from the atomic provider
+// count and the ledger aggregates (O(P)). Without a ledger only the
+// provider count is published — recomputing P(W) per mutation would be the
+// O(N) cost DisableIncremental opted out of. Needs no DB lock: the count
+// is atomic and the ledger self-locking.
+func (d *DB) publishGauges() {
+	mProviders.Set(float64(d.nProviders.Load()))
 	if d.ledger == nil {
 		return
 	}
@@ -68,8 +80,27 @@ type tableMeta struct {
 	rows        map[relational.RowID]*rowMeta
 }
 
+// dbShard owns the providers whose canonical key hashes to its index:
+// their preference pointers and the shard's monotonic registration
+// counter. Provider keys always land on the same shard index as their
+// ledger partition (both use core.ShardIndex with the same count), so a
+// provider's store shard and ledger shard coincide.
+type dbShard struct {
+	mu        sync.RWMutex
+	providers map[string]*privacy.Prefs
+	// prefsVersion counts registrations on this shard; stamped onto each
+	// provider's ledger row. Per-shard counters stay monotone per provider
+	// because a provider never changes shards.
+	prefsVersion uint64
+}
+
 // DB is the privacy-preserving database.
 type DB struct {
+	// mu guards the cross-shard state below (policy, tables, clock,
+	// logs, assessor, ledger pointer, policyVersion). Shard-local provider
+	// operations hold it shared plus the owning shard's lock; structural
+	// operations (policy swap, table mutation, batch registration) hold it
+	// exclusively. Lock order: mu before any dbShard.mu.
 	mu sync.RWMutex
 
 	rdb    *relational.Database
@@ -79,8 +110,13 @@ type DB struct {
 	attrSens privacy.AttributeSensitivities
 	opts     core.Options
 
-	providers map[string]*privacy.Prefs
-	tables    map[string]*tableMeta
+	// shards is the provider store, fixed at construction.
+	shards []*dbShard
+	// nProviders counts registered providers across shards (gauge feed and
+	// O(1) Len without sweeping the shards).
+	nProviders atomic.Int64
+
+	tables map[string]*tableMeta
 
 	hierarchies map[string]generalize.Hierarchy
 	retention   RetentionSchedule
@@ -97,12 +133,11 @@ type DB struct {
 	// ledger is the incremental violation view (nil when
 	// Config.DisableIncremental is set); it is constructed once and
 	// self-locking, and every provider/policy mutation keeps it current.
+	// Its shard count equals len(shards).
 	ledger *ledger.Ledger
-	// policyVersion counts SetPolicy transitions; prefsVersion is a
-	// monotonic counter stamped onto each provider registration. Together
-	// they key the ledger's memoized rows.
+	// policyVersion counts SetPolicy transitions; together with the
+	// shards' prefsVersion counters it keys the ledger's memoized rows.
 	policyVersion uint64
-	prefsVersion  uint64
 }
 
 // PolicyChange records one policy version transition for the audit trail
@@ -134,6 +169,11 @@ type Config struct {
 	Retention RetentionSchedule
 	// Start is the initial simulated time; zero means a fixed epoch.
 	Start time.Time
+	// Shards is the number of provider-store/ledger shards (and the width
+	// of every population fan-out); 0 means one per schedulable CPU
+	// (core.DefaultShards). 1 reproduces the serial pre-sharding behavior
+	// exactly. Certification results are byte-identical for every value.
+	Shards int
 	// DisableIncremental turns off the violation ledger: certification,
 	// self-audits and policy what-ifs fall back to full recomputation over
 	// all providers. Assessment results are identical either way; this
@@ -174,6 +214,13 @@ func New(cfg Config) (*DB, error) {
 	if start.IsZero() {
 		start = time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("ppdb: shard count %d must be >= 0", cfg.Shards)
+	}
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = core.DefaultShards()
+	}
 	hier := make(map[string]generalize.Hierarchy, len(cfg.Hierarchies))
 	for a, h := range cfg.Hierarchies {
 		hier[strings.ToLower(a)] = h
@@ -188,7 +235,7 @@ func New(cfg Config) (*DB, error) {
 		policy:        cfg.Policy,
 		attrSens:      cfg.AttrSens,
 		opts:          cfg.Options,
-		providers:     make(map[string]*privacy.Prefs),
+		shards:        make([]*dbShard, nShards),
 		tables:        make(map[string]*tableMeta),
 		hierarchies:   hier,
 		retention:     ret,
@@ -197,15 +244,31 @@ func New(cfg Config) (*DB, error) {
 		assessor:      assessor,
 		policyVersion: 1,
 	}
+	for i := range d.shards {
+		d.shards[i] = &dbShard{providers: make(map[string]*privacy.Prefs)}
+	}
 	if !cfg.DisableIncremental {
-		led, err := ledger.New(assessor, d.policyVersion)
+		led, err := ledger.NewSharded(assessor, d.policyVersion, nShards)
 		if err != nil {
 			return nil, err
 		}
 		d.ledger = led
 	}
-	d.publishGaugesLocked() // no lock needed: d is not yet shared
+	d.publishGauges()
 	return d, nil
+}
+
+// ShardCount returns the number of provider-store shards (also the ledger
+// partition count and the width of population fan-outs).
+func (d *DB) ShardCount() int { return len(d.shards) }
+
+// NumProviders returns the number of registered providers, O(1) from the
+// cross-shard counter.
+func (d *DB) NumProviders() int { return int(d.nProviders.Load()) }
+
+// shardOf routes a canonical (lowercased) provider key to its shard.
+func (d *DB) shardOf(key string) *dbShard {
+	return d.shards[core.ShardIndex(key, len(d.shards))]
 }
 
 // Now returns the simulated clock.
@@ -272,8 +335,9 @@ func (d *DB) RegisterTable(name string, schema *relational.Schema, providerCol s
 
 // RegisterProvider records a provider's preferences. Re-registering replaces
 // the previous preferences (providers may revise them). Each registration
-// bumps the provider's prefs version and applies an O(1) delta to the
-// violation ledger.
+// bumps the owning shard's prefs version and applies an O(1) delta to the
+// violation ledger, holding only d.mu shared plus that shard's lock — so
+// registrations on different shards proceed in parallel.
 func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 	if p == nil {
 		return fmt.Errorf("ppdb: nil preferences")
@@ -281,28 +345,37 @@ func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 	if err := p.Validate(d.scales); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.registerLocked(p)
+	d.mu.RLock()
+	d.registerShared(p)
+	d.mu.RUnlock()
+	d.publishGauges()
 	return nil
 }
 
-// registerLocked stores validated preferences, stamping a fresh prefs
-// version and upserting the ledger row.
-func (d *DB) registerLocked(p *privacy.Prefs) {
+// registerShared stores validated preferences under the owning shard's
+// lock, stamping a fresh prefs version and upserting the ledger row. The
+// caller holds d.mu at least shared (so the policy cannot swap mid-write).
+func (d *DB) registerShared(p *privacy.Prefs) {
 	key := strings.ToLower(p.Provider)
-	d.providers[key] = p
-	d.prefsVersion++
+	s := d.shardOf(key)
+	s.mu.Lock()
+	_, existed := s.providers[key]
+	s.providers[key] = p
+	s.prefsVersion++
 	if d.ledger != nil {
-		d.ledger.Upsert(key, p, d.prefsVersion)
+		d.ledger.Upsert(key, p, s.prefsVersion)
 	}
-	d.publishGaugesLocked()
+	s.mu.Unlock()
+	if !existed {
+		d.nProviders.Add(1)
+	}
 }
 
 // RegisterProviders records a batch of providers atomically: every
-// preference set is validated before any is stored, and the ledger rows are
-// computed across a bounded worker pool — the cold-build path Load and the
-// HTTP bulk upload use.
+// preference set is validated before any is stored, the batch holds d.mu
+// exclusively (no interleaved reads observe a half-applied batch), and the
+// store + ledger build fan out one goroutine per shard — the cold-build
+// path Load and the HTTP bulk upload use.
 func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 	for i, p := range ps {
 		if p == nil {
@@ -313,18 +386,40 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 		}
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	items := make([]ledger.Item, 0, len(ps))
+	buckets := make([][]*privacy.Prefs, len(d.shards))
 	for _, p := range ps {
-		key := strings.ToLower(p.Provider)
-		d.providers[key] = p
-		d.prefsVersion++
-		items = append(items, ledger.Item{Key: key, Prefs: p, Version: d.prefsVersion})
+		i := core.ShardIndex(strings.ToLower(p.Provider), len(d.shards))
+		buckets[i] = append(buckets[i], p)
 	}
+	shardItems := make([][]ledger.Item, len(d.shards))
+	core.FanOut(len(d.shards), len(d.shards), func(i int) {
+		if len(buckets[i]) == 0 {
+			return
+		}
+		s := d.shards[i]
+		s.mu.Lock()
+		items := make([]ledger.Item, 0, len(buckets[i]))
+		for _, p := range buckets[i] {
+			key := strings.ToLower(p.Provider)
+			if _, existed := s.providers[key]; !existed {
+				d.nProviders.Add(1)
+			}
+			s.providers[key] = p
+			s.prefsVersion++
+			items = append(items, ledger.Item{Key: key, Prefs: p, Version: s.prefsVersion})
+		}
+		s.mu.Unlock()
+		shardItems[i] = items
+	})
 	if d.ledger != nil {
-		d.ledger.UpsertBatch(items)
+		all := make([]ledger.Item, 0, len(ps))
+		for _, items := range shardItems {
+			all = append(all, items...)
+		}
+		d.ledger.UpsertBatch(all)
 	}
-	d.publishGaugesLocked()
+	d.mu.Unlock()
+	d.publishGauges()
 	return nil
 }
 
@@ -332,32 +427,92 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 func (d *DB) Provider(name string) (*privacy.Prefs, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	p, ok := d.providers[strings.ToLower(name)]
+	return d.lookupShared(strings.ToLower(name))
+}
+
+// lookupShared reads one provider under its shard lock; the caller holds
+// d.mu at least shared.
+func (d *DB) lookupShared(key string) (*privacy.Prefs, bool) {
+	s := d.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.providers[key]
 	return p, ok
 }
 
 // Providers returns all registered preferences, sorted by provider key so
-// reports and persisted artifacts derived from it are stable across runs.
+// reports and persisted artifacts derived from it are stable across runs
+// and across shard counts.
 func (d *DB) Providers() []*privacy.Prefs {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.populationLocked()
+	return d.populationShared()
 }
 
-// populationLocked snapshots the provider set sorted by canonical key —
-// the one iteration order every assessment path shares, so float sums are
-// reproducible run to run.
-func (d *DB) populationLocked() []*privacy.Prefs {
-	keys := make([]string, 0, len(d.providers))
-	for k := range d.providers {
-		keys = append(keys, k)
+// ProvidersPage returns the number of providers whose canonical key starts
+// with prefix, plus one page of those keys in global sorted order — the
+// bounded listing the paginated HTTP API serves. offset past the end
+// yields an empty page; limit <= 0 yields no rows (count-only).
+func (d *DB) ProvidersPage(prefix string, offset, limit int) (int, []string) {
+	prefix = strings.ToLower(prefix)
+	d.mu.RLock()
+	keys, _ := d.sortedProvidersShared()
+	d.mu.RUnlock()
+	if prefix != "" {
+		filtered := keys[:0]
+		for _, k := range keys {
+			if strings.HasPrefix(k, prefix) {
+				filtered = append(filtered, k)
+			}
+		}
+		keys = filtered
+	}
+	total := len(keys)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return total, append([]string(nil), keys[offset:end]...)
+}
+
+// sortedProvidersShared snapshots every shard under its lock and returns
+// the providers in global sorted key order — the one iteration order every
+// assessment and persistence path shares, so float sums and artifacts are
+// reproducible run to run and identical for every shard count. The caller
+// holds d.mu at least shared.
+func (d *DB) sortedProvidersShared() ([]string, []*privacy.Prefs) {
+	n := int(d.nProviders.Load())
+	keys := make([]string, 0, n)
+	byKey := make(map[string]*privacy.Prefs, n)
+	for _, s := range d.shards {
+		s.mu.RLock()
+		for k, p := range s.providers {
+			keys = append(keys, k)
+			byKey[k] = p
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(keys)
-	out := make([]*privacy.Prefs, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, d.providers[k])
+	prefs := make([]*privacy.Prefs, len(keys))
+	for i, k := range keys {
+		prefs[i] = byKey[k]
 	}
-	return out
+	return keys, prefs
+}
+
+// populationShared is sortedProvidersShared without the keys.
+func (d *DB) populationShared() []*privacy.Prefs {
+	_, prefs := d.sortedProvidersShared()
+	return prefs
 }
 
 // RemoveProvider deletes a provider's preferences and all of their rows —
@@ -366,8 +521,14 @@ func (d *DB) populationLocked() []*privacy.Prefs {
 func (d *DB) RemoveProvider(name string) int {
 	key := strings.ToLower(name)
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.providers, key)
+	s := d.shardOf(key)
+	s.mu.Lock()
+	_, existed := s.providers[key]
+	delete(s.providers, key)
+	s.mu.Unlock()
+	if existed {
+		d.nProviders.Add(-1)
+	}
 	if d.ledger != nil {
 		d.ledger.Remove(key)
 	}
@@ -381,7 +542,8 @@ func (d *DB) RemoveProvider(name string) int {
 			}
 		}
 	}
-	d.publishGaugesLocked()
+	d.mu.Unlock()
+	d.publishGauges()
 	return removed
 }
 
@@ -392,7 +554,7 @@ func (d *DB) Insert(table, provider string, row relational.Row) (relational.RowI
 	key := strings.ToLower(provider)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.providers[key]; !ok {
+	if _, ok := d.lookupShared(key); !ok {
 		return 0, fmt.Errorf("ppdb: provider %q is not registered", provider)
 	}
 	tm, ok := d.tables[strings.ToLower(table)]
@@ -427,9 +589,9 @@ func (d *DB) TableLen(table string) int {
 // SetPolicy swaps the house policy, measuring the before/after population
 // impact and appending to the policy log. The returned what-if deltas let
 // callers decide whether to notify providers. With the ledger enabled the
-// "before" numbers are read from the running aggregates in O(1) and the
-// swap triggers one cold rebuild across a bounded worker pool; the
-// fallback path recomputes both sides over the sorted population.
+// "before" numbers are read from the running aggregates in O(P) and the
+// swap triggers one cold rebuild, one goroutine per shard; the fallback
+// path recomputes both sides over the sorted population in parallel.
 func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	if next == nil {
 		return PolicyChange{}, fmt.Errorf("ppdb: nil policy")
@@ -457,15 +619,15 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 		change.DeltaPDefault = afterSum.PDefault - before.PDefault
 	} else {
 		d.policyVersion++
-		pop := d.populationLocked()
-		bRep := d.assessor.AssessPopulation(pop)
-		aRep := after.AssessPopulation(pop)
+		pop := d.populationShared()
+		bRep := d.assessor.AssessPopulationParallel(pop, len(d.shards))
+		aRep := after.AssessPopulationParallel(pop, len(d.shards))
 		change.DeltaPW = aRep.PW - bRep.PW
 		change.DeltaPDefault = aRep.PDefault - bRep.PDefault
 	}
 	d.assessor = after
 	d.policy = next
 	d.policyLog = append(d.policyLog, change)
-	d.publishGaugesLocked()
+	d.publishGauges()
 	return change, nil
 }

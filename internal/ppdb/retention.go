@@ -2,8 +2,10 @@ package ppdb
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/privacy"
 	"repro/internal/relational"
 )
@@ -76,12 +78,34 @@ type SweepReport struct {
 	RowsDeleted  int
 }
 
+// cellExpiry is one decided cell expiration: which column to null (or
+// star, for NOT NULL columns) and the attribute name to mark expired.
+type cellExpiry struct {
+	idx     int
+	name    string
+	notNull bool
+}
+
+// rowDecision is the sweep verdict for one row, computed read-only in the
+// parallel decision phase and applied serially afterwards.
+type rowDecision struct {
+	id     relational.RowID
+	expire []cellExpiry
+	del    bool
+}
+
 // Sweep enforces retention: for every stored row, each attribute cell whose
 // policy retention (the maximum over the attribute's policy tuples — data
 // is kept while any purpose still needs it) has elapsed is nulled out (or
 // suppressed when the column is NOT NULL); rows whose policy-covered cells
 // have all expired are deleted. Providers' identity columns expire last,
 // with their row.
+//
+// The sweep runs in two phases (DESIGN.md §11): a read-only decision phase
+// that classifies every row in parallel (one fan-out per table, width =
+// shard count — decisions depend only on provenance, policy and the clock,
+// so rows are independent), then a serial apply phase that mutates rows in
+// ascending row-ID order, keeping the mutation sequence deterministic.
 func (d *DB) Sweep() (SweepReport, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -115,13 +139,22 @@ func (d *DB) Sweep() (SweepReport, error) {
 			}
 		}
 
-		var toDelete []relational.RowID
-		for id, meta := range tm.rows {
-			row, ok := tm.table.Get(id)
-			if !ok {
-				continue
+		// Decision phase: classify rows in ascending ID order, fanned out
+		// across the shard-count worker pool. Reads only.
+		ids := make([]relational.RowID, 0, len(tm.rows))
+		for id := range tm.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		decisions := make([]rowDecision, len(ids))
+		core.FanOut(len(ids), len(d.shards), func(i int) {
+			id := ids[i]
+			meta := tm.rows[id]
+			dec := rowDecision{id: id}
+			if _, ok := tm.table.Get(id); !ok {
+				decisions[i] = dec
+				return
 			}
-			changed := false
 			liveCovered := 0
 			for _, cp := range cols {
 				if !cp.covered {
@@ -136,14 +169,11 @@ func (d *DB) Sweep() (SweepReport, error) {
 					continue
 				}
 				if d.retention.Expired(d.scales.Retention, cp.level, meta.inserted, d.now) {
-					if schema.Column(cp.idx).NotNull {
-						row[cp.idx] = relational.Text("*")
-					} else {
-						row[cp.idx] = relational.Null()
-					}
-					meta.expired[name] = true
-					rep.CellsExpired++
-					changed = true
+					dec.expire = append(dec.expire, cellExpiry{
+						idx:     cp.idx,
+						name:    name,
+						notNull: schema.Column(cp.idx).NotNull,
+					})
 				} else {
 					liveCovered++
 				}
@@ -151,31 +181,47 @@ func (d *DB) Sweep() (SweepReport, error) {
 			// Check the provider column's own retention for row deletion.
 			rowExpired := true
 			for _, cp := range cols {
-				if !cp.covered {
+				if !cp.covered || schema.Column(cp.idx).Name != tm.providerCol {
 					continue
 				}
-				name := schema.Column(cp.idx).Name
-				if name == tm.providerCol {
-					if !d.retention.Expired(d.scales.Retention, cp.level, meta.inserted, d.now) {
-						rowExpired = false
-					}
-					continue
+				if !d.retention.Expired(d.scales.Retention, cp.level, meta.inserted, d.now) {
+					rowExpired = false
 				}
 			}
-			if anyCovered && liveCovered == 0 && rowExpired {
-				toDelete = append(toDelete, id)
+			dec.del = anyCovered && liveCovered == 0 && rowExpired
+			decisions[i] = dec
+		})
+
+		// Apply phase: serial, in ascending row-ID order.
+		for _, dec := range decisions {
+			meta := tm.rows[dec.id]
+			for _, ce := range dec.expire {
+				meta.expired[ce.name] = true
+				rep.CellsExpired++
+			}
+			if dec.del {
+				tm.table.Delete(dec.id)
+				delete(tm.rows, dec.id)
+				rep.RowsDeleted++
 				continue
 			}
-			if changed {
-				if err := tm.table.Update(id, row); err != nil {
-					return rep, err
+			if len(dec.expire) == 0 {
+				continue
+			}
+			row, ok := tm.table.Get(dec.id)
+			if !ok {
+				continue
+			}
+			for _, ce := range dec.expire {
+				if ce.notNull {
+					row[ce.idx] = relational.Text("*")
+				} else {
+					row[ce.idx] = relational.Null()
 				}
 			}
-		}
-		for _, id := range toDelete {
-			tm.table.Delete(id)
-			delete(tm.rows, id)
-			rep.RowsDeleted++
+			if err := tm.table.Update(dec.id, row); err != nil {
+				return rep, err
+			}
 		}
 	}
 	return rep, nil

@@ -32,7 +32,7 @@ func (d *DB) ProviderView(provider string) ([]OwnRow, error) {
 	key := strings.ToLower(provider)
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if _, ok := d.providers[key]; !ok {
+	if _, ok := d.lookupShared(key); !ok {
 		return nil, fmt.Errorf("ppdb: provider %q is not registered", provider)
 	}
 	var out []OwnRow
@@ -90,7 +90,7 @@ func (d *DB) UpdateOwnRow(provider, table string, id relational.RowID, row relat
 func (d *DB) SelfAudit(provider string) (core.ProviderReport, error) {
 	key := strings.ToLower(provider)
 	d.mu.RLock()
-	prefs, ok := d.providers[key]
+	prefs, ok := d.lookupShared(key)
 	assessor := d.assessor
 	if ok && d.ledger != nil {
 		if rep, hit := d.ledger.Report(key); hit {
@@ -118,7 +118,7 @@ func (d *DB) UpdatePreferences(provider string, prefs *privacy.Prefs) error {
 	}
 	key := strings.ToLower(provider)
 	d.mu.RLock()
-	_, registered := d.providers[key]
+	_, registered := d.lookupShared(key)
 	d.mu.RUnlock()
 	if !registered {
 		return fmt.Errorf("ppdb: provider %q is not registered", provider)

@@ -140,6 +140,31 @@ func (p *Prefs) Attributes() []string {
 	return out
 }
 
+// SensitivityKey addresses one explicitly recorded σ element; Purpose ""
+// is the per-attribute default.
+type SensitivityKey struct {
+	Attribute string
+	Purpose   Purpose
+}
+
+// SensitivityKeys returns the keys of every explicitly recorded σ element
+// in sorted (attribute, purpose) order — including attributes that carry
+// sensitivities but no preference tuples, which still weigh implicit-zero
+// conflicts (Sec. 5) and must survive encoding round trips.
+func (p *Prefs) SensitivityKeys() []SensitivityKey {
+	out := make([]SensitivityKey, 0, len(p.sens))
+	for k := range p.sens {
+		out = append(out, SensitivityKey{Attribute: k.attr, Purpose: k.purpose})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attribute != out[j].Attribute {
+			return out[i].Attribute < out[j].Attribute
+		}
+		return out[i].Purpose < out[j].Purpose
+	})
+	return out
+}
+
 // EffectiveFor returns the preference tuples that apply to attribute attr
 // given the set of purposes the house uses that attribute for. Explicit
 // tuples are returned as stated; for every house purpose with no matching

@@ -1,23 +1,49 @@
 #!/bin/sh
-# Certification benchmark harness: runs BenchmarkCertifyCold /
-# BenchmarkCertifyIncremental / BenchmarkCertifySummary (see bench_test.go)
-# and records ns/op plus the cold→incremental speedup per population size
-# into BENCH_certify.json at the repo root. Wired as `make bench`; not part
-# of `make check`.
+# Certification benchmark harness: runs the certification benches
+# (BenchmarkCertifyCold / BenchmarkCertifyIncremental /
+# BenchmarkCertifySummary) plus the sharding benches
+# (BenchmarkCertifyColdShards / BenchmarkBulkIngestShards, one sub-bench
+# per shard count — see bench_test.go) and records ns/op plus the
+# cold→incremental speedup per population size into BENCH_certify.json at
+# the repo root. Wired as `make bench`; not part of `make check`.
+#
+# BENCH_PATTERN restricts the run to a subset (e.g. `make bench-shards`
+# sets '^Benchmark(CertifyColdShards|BulkIngestShards)'); entries already
+# in BENCH_certify.json whose benchmarks were not re-run are carried over,
+# so a partial run never loses the rest of the baseline.
 #
 # BENCHTIME overrides -benchtime (e.g. BENCHTIME=10x for a quick smoke run).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench '^BenchmarkCertify(Cold|Incremental|Summary)' \
+pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|Incremental|Summary)|BulkIngestShards)}"
+out=$(go test -run '^$' -bench "$pattern" \
 	-benchtime "${BENCHTIME:-1s}" -benchmem -timeout 30m .)
 printf '%s\n' "$out"
 
+# Merge: previous baseline entries first (in their recorded order), then
+# fresh results override matching names and append new ones. The trailing
+# `echo` guarantees the baseline stream is never empty, so awk's NR==FNR
+# first-file detection stays sound.
+prev=$(mktemp)
+{ cat BENCH_certify.json 2>/dev/null || true; echo; } > "$prev"
+
 printf '%s\n' "$out" | awk '
-/^BenchmarkCertify/ {
+NR == FNR {
+	# Baseline lines look like {"name": "BenchmarkCertifyCold/1k", "ns_per_op": 2778438},
+	if (match($0, /"name": "[^"]+"/)) {
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		if (match($0, /"ns_per_op": [0-9.]+/)) {
+			if (!(name in vals)) names[++n] = name
+			vals[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+		}
+	}
+	next
+}
+/^Benchmark(Certify|BulkIngest)/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	names[++n] = name
+	if (!(name in vals)) names[++n] = name
 	vals[name] = $3
 }
 END {
@@ -39,6 +65,7 @@ END {
 		}
 	}
 	printf "}\n}\n"
-}' > BENCH_certify.json
+}' "$prev" - > BENCH_certify.json
+rm -f "$prev"
 
 echo "wrote BENCH_certify.json"

@@ -18,7 +18,7 @@ if [ ! -f "$baseline" ]; then
 	exit 1
 fi
 
-out=$(go test -run '^$' -bench '^BenchmarkCertify(Cold|Incremental|Summary)' \
+out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|Incremental|Summary)|BulkIngestShards)' \
 	-benchtime "${BENCHTIME:-1s}" -timeout 30m .)
 printf '%s\n' "$out"
 echo
@@ -33,7 +33,7 @@ NR == FNR {
 	}
 	next
 }
-/^BenchmarkCertify/ {
+/^Benchmark(Certify|BulkIngest)/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	cur[name] = $3 + 0
 	seen[++n] = name

@@ -25,3 +25,9 @@ if [ "$count" -ne 6 ]; then
 fi
 # shellcheck disable=SC2086 # the list is newline-separated package paths
 go test -race $race_pkgs
+
+# Shard-sweep race pass: the shard-count equivalence suite exercises every
+# cross-shard fan-out/merge path (bulk ingest, rebuild, snapshot render) at
+# 1/2/8 shards. GOMAXPROCS=4 gives the race detector real interleavings of
+# the per-shard goroutines even on single-core runners.
+GOMAXPROCS=4 go test -race -run 'Shard|LedgerCertifyEquivalence' ./internal/ppdb ./internal/ledger
