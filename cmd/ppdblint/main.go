@@ -3,17 +3,23 @@
 // findings as deterministic `file:line: [checker] message` lines. It is
 // the lint gate of `make check`.
 //
-// Checkers: lockcheck (mutex discipline on guarded structs), floatcmp
-// (exact float equality), enumswitch (non-exhaustive iota-enum switches),
-// errflow (dropped error returns). Deliberate exceptions are annotated
-// with `//lint:ignore <checker> <reason>` on or directly above the
+// Per-package checkers: lockcheck (mutex discipline on guarded structs),
+// floatcmp (exact float equality), enumswitch (non-exhaustive iota-enum
+// switches), errflow (dropped error returns), fanout (goroutine/FanOut
+// misuse). Whole-program checkers, which run over the cross-package call
+// graph of every loaded package at once: lockorder (the declared
+// //lint:lockorder partial order) and determinism (map ranges, time.Now
+// and math/rand reachable from //lint:deterministic roots). Deliberate
+// exceptions are annotated with `//lint:ignore <checker> <reason>` (or
+// per-checker `//lint:ignore checker[reason]`) on or directly above the
 // offending line.
 //
 // Usage:
 //
 //	ppdblint ./...                              # everything, all checkers
-//	ppdblint -checker lockcheck ./internal/ppdb/...
-//	ppdblint -checker floatcmp,errflow -json ./internal/core
+//	ppdblint -checker lockorder ./...
+//	ppdblint -baseline lint-baseline.json ./... # fail only on new findings
+//	ppdblint -sarif ./... > ppdblint.sarif
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 // load errors.
@@ -39,10 +45,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	checker := fs.String("checker", "", "comma-separated checkers to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	baselinePath := fs.String("baseline", "", "baseline file; findings it contains are not reported")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ppdblint [-checker list] [-json] [packages ...]\n\n")
+		fmt.Fprintf(stderr, "usage: ppdblint [-checker list] [-json|-sarif] [-baseline file] [-write-baseline file] [packages ...]\n\n")
 		fmt.Fprintf(stderr, "Runs the repo's static-analysis suite; patterns default to ./...\n")
-		fmt.Fprintf(stderr, "Example: ppdblint -checker lockcheck ./internal/ppdb/...\n\nCheckers:\n")
+		fmt.Fprintf(stderr, "Example: ppdblint -baseline lint-baseline.json ./...\n\nCheckers:\n")
 		for _, c := range analysis.Checkers() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name, c.Doc)
 		}
@@ -53,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "ppdblint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	checkers, err := analysis.Select(*checker)
@@ -79,7 +92,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range findings {
 		findings[i].File = relativize(cwd, findings[i].File)
 	}
-	if *asJSON {
+	if *writeBaseline != "" {
+		b := analysis.NewBaseline(findings)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "ppdblint: wrote %d baseline entr%s (%d findings) to %s\n",
+			len(b.Findings), plural(len(b.Findings), "y", "ies"), len(findings), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = b.Filter(findings)
+	}
+	switch {
+	case *asSARIF:
+		if err := analysis.WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *asJSON:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -89,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
 		}
@@ -98,6 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // relativize shortens file paths relative to dir for readable, stable

@@ -104,6 +104,130 @@ func TestRunJSONEmptyArray(t *testing.T) {
 	}
 }
 
+func TestRunSARIF(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-sarif", "-checker", "fanout", fixture("fanoutdata")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &doc); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run0 := doc.Runs[0]
+	if run0.Tool.Driver.Name != "ppdblint" {
+		t.Errorf("driver name = %q, want ppdblint", run0.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["fanout"] || !ruleIDs["lockorder"] || !ruleIDs["determinism"] {
+		t.Errorf("driver rules missing new checkers: %v", ruleIDs)
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("sarif run has no results")
+	}
+	for _, res := range run0.Results {
+		if res.RuleID != "fanout" {
+			t.Errorf("result ruleId = %q, want fanout", res.RuleID)
+		}
+		if res.Message.Text == "" || len(res.Locations) != 1 {
+			t.Errorf("result missing message or location: %+v", res)
+		}
+		if res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result missing startLine: %+v", res)
+		}
+	}
+}
+
+func TestRunJSONAndSARIFConflict(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "-sarif", fixture("cleandata")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-json and -sarif") {
+		t.Fatalf("stderr missing diagnosis: %q", stderr.String())
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from a dirty fixture, then
+// re-runs against it: the previously recorded findings are filtered and
+// the run exits clean. A second fixture's findings are NOT absorbed.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-write-baseline", base, "-checker", "floatcmp", fixture("floatcmpdata")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote") {
+		t.Errorf("write-baseline output missing confirmation: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-baseline", base, "-checker", "floatcmp", fixture("floatcmpdata")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("baselined run exit code = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	if stdout.String() != "" {
+		t.Errorf("baselined run still reported findings:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-baseline", base, "-checker", "floatcmp,enumswitch", fixture("floatcmpdata"), fixture("enumswitchdata")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run with new findings exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "[enumswitch]") || strings.Contains(stdout.String(), "[floatcmp]") {
+		t.Errorf("baseline should filter floatcmp but keep enumswitch:\n%s", stdout.String())
+	}
+}
+
+func TestBaselineMissingFile(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", "no/such/baseline.json", fixture("cleandata")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing baseline exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-checker", "nosuch", fixture("cleandata")}, &stdout, &stderr); code != 2 {
@@ -121,7 +245,7 @@ func TestRunUsageErrors(t *testing.T) {
 		t.Fatalf("-h: exit code = %d, want 0", code)
 	}
 	usage := stderr.String()
-	for _, want := range []string{"ppdblint -checker lockcheck ./internal/ppdb/...", "lockcheck", "floatcmp", "enumswitch", "errflow", "lint:ignore"} {
+	for _, want := range []string{"ppdblint -baseline lint-baseline.json ./...", "lockcheck", "floatcmp", "enumswitch", "errflow", "lockorder", "determinism", "fanout", "lint:ignore"} {
 		if !strings.Contains(usage, want) {
 			t.Errorf("usage output missing %q", want)
 		}

@@ -105,6 +105,7 @@ func main() {
 			os.Exit(1)
 		}
 		log.Print(kvlog.Line("event", "pprof_listening", "addr", pln.Addr()))
+		//lint:ignore fanout[the pprof listener is deliberately fire-and-forget for the process lifetime; its exit is logged and must not stall startup]
 		go func() {
 			// The pprof listener dying must not take the service down:
 			// log it and keep serving the main port.

@@ -59,6 +59,9 @@ func TestCheckersGolden(t *testing.T) {
 		{"floatcmp", "floatcmpdata"},
 		{"enumswitch", "enumswitchdata"},
 		{"errflow", "errflowdata"},
+		{"lockorder", "lockorderdata"},
+		{"determinism", "determinismdata"},
+		{"fanout", "fanoutdata"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.checker, func(t *testing.T) {
@@ -230,6 +233,92 @@ var d = 4
 	}
 	if ds[3].matches("errflow", ds[3].line+1) {
 		t.Error("malformed directive must not suppress anything")
+	}
+}
+
+// TestIgnoreBracketedReasons exercises the per-checker bracketed-reason
+// grammar: non-empty bracketed reasons satisfy the reason requirement,
+// empty ones poison the directive, and mixed lists still require either a
+// trailing reason or a bracket on every name.
+func TestIgnoreBracketedReasons(t *testing.T) {
+	const src = `package p
+
+//lint:ignore floatcmp[sentinel zero is assigned, never computed]
+var a = 1
+
+//lint:ignore floatcmp[assigned zero],errflow[best-effort probe]
+var b = 2
+
+//lint:ignore floatcmp[]
+var c = 3
+
+//lint:ignore floatcmp[   ]
+var d = 4
+
+//lint:ignore floatcmp[reasoned],errflow
+var e = 5
+
+//lint:ignore floatcmp[reasoned],errflow trailing reason covers the bare name
+var f = 6
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ds := parseIgnores(fset, file)
+	if len(ds) != 6 {
+		t.Fatalf("parsed %d directives, want 6", len(ds))
+	}
+	if ds[0].bad || !ds[0].matches("floatcmp", ds[0].line+1) {
+		t.Error("single bracketed reason should suppress its checker")
+	}
+	if ds[1].bad || !ds[1].matches("floatcmp", ds[1].line+1) || !ds[1].matches("errflow", ds[1].line+1) {
+		t.Error("per-checker bracketed reasons should suppress both checkers")
+	}
+	if !ds[2].bad {
+		t.Error("empty bracketed reason should be flagged as malformed")
+	}
+	if !ds[3].bad {
+		t.Error("whitespace-only bracketed reason should be flagged as malformed")
+	}
+	if !ds[4].bad {
+		t.Error("bare name alongside a bracketed one still needs a trailing reason")
+	}
+	if ds[5].bad || !ds[5].matches("errflow", ds[5].line+1) {
+		t.Error("trailing reason should cover bare names in a mixed list")
+	}
+}
+
+// TestAnalyzeReportsEmptyBracketReason verifies the malformed directive
+// surfaces as a lintdirective finding through the full Analyze path.
+func TestAnalyzeReportsEmptyBracketReason(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+//lint:ignore errflow[]
+var X = 1
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load([]string{dir})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	findings := Analyze(pkgs, Checkers())
+	if len(findings) != 1 || findings[0].Checker != "lintdirective" {
+		t.Fatalf("findings = %v, want one lintdirective finding", findings)
+	}
+	if !strings.Contains(findings[0].Message, "non-empty") {
+		t.Errorf("message %q does not explain the empty-reason rule", findings[0].Message)
 	}
 }
 

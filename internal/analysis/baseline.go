@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a committed snapshot of accepted findings: CI fails only on
+// findings not in the baseline, so a new checker can land before every
+// legacy violation is fixed. Entries match on (file, checker, message) —
+// line numbers are deliberately excluded so unrelated edits that shift a
+// finding do not invalidate the baseline — and carry a count, making the
+// match a multiset containment: a file that grows a second identical
+// violation is still reported.
+type Baseline struct {
+	// Findings is sorted by (file, checker, message) for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one accepted finding shape with its multiplicity.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineKey struct {
+	file, checker, message string
+}
+
+// NewBaseline aggregates findings into a baseline.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.File, f.Checker, f.Message}]++
+	}
+	b := &Baseline{Findings: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{File: k.file, Checker: k.checker, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Checker != c.Checker {
+			return a.Checker < c.Checker
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	for _, e := range b.Findings {
+		if e.File == "" || e.Checker == "" || e.Count <= 0 {
+			return nil, fmt.Errorf("analysis: baseline %s: entry with empty file/checker or non-positive count", path)
+		}
+	}
+	return &b, nil
+}
+
+// WriteFile persists the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the findings not absorbed by the baseline: each entry
+// absorbs up to Count matching findings per (file, checker, message) key.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.File, e.Checker, e.Message}] += e.Count
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Checker, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

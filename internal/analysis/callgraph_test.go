@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadProgram builds the call graph over one fixture package.
+func loadProgram(t *testing.T, fixture string) *Program {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load([]string{filepath.Join("testdata", "src", fixture)})
+	if err != nil {
+		t.Fatalf("Load(%s): %v", fixture, err)
+	}
+	return BuildProgram(pkgs)
+}
+
+// fnByName finds an indexed function by its diagnostic name.
+func fnByName(t *testing.T, prog *Program, name string) *Func {
+	t.Helper()
+	for _, fn := range prog.Functions() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not indexed", name)
+	return nil
+}
+
+// calleeNames returns the resolved callee names of fn, deduplicated in
+// call order.
+func calleeNames(fn *Func) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range fn.Calls {
+		n := c.Callee.Name()
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func hasCallee(fn *Func, name string) bool {
+	for _, c := range fn.Calls {
+		if c.Callee.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDirectAndMethodCalls(t *testing.T) {
+	prog := loadProgram(t, "callgraphdata")
+	direct := fnByName(t, prog, "callgraphdata.Direct")
+	if !hasCallee(direct, "callgraphdata.helper") {
+		t.Errorf("Direct callees = %v, want callgraphdata.helper", calleeNames(direct))
+	}
+	onCat := fnByName(t, prog, "callgraphdata.OnCat")
+	if !hasCallee(onCat, "(*callgraphdata.Cat).Speak") {
+		t.Errorf("OnCat callees = %v, want (*callgraphdata.Cat).Speak", calleeNames(onCat))
+	}
+}
+
+func TestCallGraphInterfaceOverApproximation(t *testing.T) {
+	prog := loadProgram(t, "callgraphdata")
+	via := fnByName(t, prog, "callgraphdata.ViaInterface")
+	for _, want := range []string{"(callgraphdata.Dog).Speak", "(*callgraphdata.Cat).Speak"} {
+		if !hasCallee(via, want) {
+			t.Errorf("ViaInterface callees = %v, want %s", calleeNames(via), want)
+		}
+	}
+	for _, c := range via.Calls {
+		if !c.Interface {
+			t.Errorf("edge to %s not marked as interface over-approximation", c.Callee.Name())
+		}
+	}
+}
+
+func TestCallGraphFunctionValuesAndLiterals(t *testing.T) {
+	prog := loadProgram(t, "callgraphdata")
+	passed := fnByName(t, prog, "callgraphdata.Passed")
+	if !hasCallee(passed, "callgraphdata.Spawn") || !hasCallee(passed, "callgraphdata.target") {
+		t.Errorf("Passed callees = %v, want Spawn and target", calleeNames(passed))
+	}
+	inLit := fnByName(t, prog, "callgraphdata.InLit")
+	if !hasCallee(inLit, "callgraphdata.helper") {
+		t.Errorf("InLit callees = %v, want callgraphdata.helper (literal inlined)", calleeNames(inLit))
+	}
+}
+
+func TestCallGraphReachableAndPath(t *testing.T) {
+	prog := loadProgram(t, "callgraphdata")
+	direct := fnByName(t, prog, "callgraphdata.Direct")
+	helper := fnByName(t, prog, "callgraphdata.helper")
+	target := fnByName(t, prog, "callgraphdata.target")
+	parent := prog.Reachable([]*Func{direct})
+	if _, ok := parent[helper]; !ok {
+		t.Fatal("helper not reachable from Direct")
+	}
+	if _, ok := parent[target]; ok {
+		t.Error("target should not be reachable from Direct")
+	}
+	if got, want := PathTo(parent, helper), "callgraphdata.Direct → callgraphdata.helper"; got != want {
+		t.Errorf("PathTo = %q, want %q", got, want)
+	}
+	if got, want := PathTo(parent, direct), "callgraphdata.Direct"; got != want {
+		t.Errorf("PathTo(root) = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,54 @@
+// Package callgraphdata exercises every call-resolution strategy of the
+// analysis call graph: direct calls, concrete method calls, interface
+// over-approximation, function values passed as arguments, and function
+// literals inlined into their enclosing declaration.
+package callgraphdata
+
+// Animal is implemented by Dog (value receiver) and Cat (pointer
+// receiver).
+type Animal interface {
+	Speak() string
+}
+
+// Dog implements Animal on the value.
+type Dog struct{}
+
+// Speak returns a bark.
+func (Dog) Speak() string { return "woof" }
+
+// Cat implements Animal on the pointer.
+type Cat struct{ n int }
+
+// Speak returns a meow.
+func (c *Cat) Speak() string {
+	c.n++
+	return "meow"
+}
+
+// Direct calls a package function.
+func Direct() string { return helper() }
+
+func helper() string { return "h" }
+
+// ViaInterface dispatches through the interface: the graph
+// over-approximates to every loaded implementation.
+func ViaInterface(a Animal) string { return a.Speak() }
+
+// Spawn invokes a function value.
+func Spawn(f func()) { f() }
+
+// Passed hands a named function to Spawn: the graph records that Passed
+// may call target.
+func Passed() { Spawn(target) }
+
+func target() {}
+
+// InLit calls helper from inside a function literal, which is inlined
+// into InLit.
+func InLit() {
+	fn := func() string { return helper() }
+	_ = fn()
+}
+
+// OnCat calls a concrete method.
+func OnCat(c *Cat) string { return c.Speak() }

@@ -1,0 +1,109 @@
+// Package determinismdata is the determinism checker fixture: functions
+// reachable from a //lint:deterministic root that iterate maps
+// order-dependently, read the clock, or draw randomness — plus the
+// sanctioned idioms (collect-then-sort, keyed writes, integer counters)
+// and an unreachable violator that must stay silent.
+package determinismdata
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type store struct {
+	m map[string]int
+}
+
+// Render is the annotated entry point: everything it reaches must be
+// order-independent.
+//
+//lint:deterministic fixture: rendered bytes must be identical across runs
+func Render(s store) []string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m { // collect-then-sort: no finding
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := renderRows(s, keys)
+	histogram(s)
+	floatTotal(s)
+	stamp()
+	seeded()
+	return rows
+}
+
+// renderRows is one hop down the call chain; its own callee violates.
+func renderRows(s store, keys []string) []string {
+	rows := make([]string, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, k)
+	}
+	collectUnsorted(s)
+	return rows
+}
+
+// collectUnsorted appends map keys without ever sorting them: the
+// diagnostic names the full call path from the root.
+func collectUnsorted(s store) []string {
+	var order []string
+	for k := range s.m { // want "appended slice order is never sorted"
+		order = append(order, k)
+	}
+	return order
+}
+
+// histogram uses only keyed writes, deletes and integer counters: no
+// finding.
+func histogram(s store) map[int]int {
+	hist := make(map[int]int)
+	total := 0
+	for k, v := range s.m {
+		hist[v]++
+		total += len(k)
+		if v == 0 {
+			delete(hist, v)
+		}
+	}
+	hist[-1] = total
+	return hist
+}
+
+// floatTotal accumulates a float across iterations: float addition does
+// not commute bitwise, so the range is order-dependent.
+func floatTotal(s store) float64 {
+	var total float64
+	for _, v := range s.m { // want "order-dependent statement in range body"
+		total += float64(v)
+	}
+	return total
+}
+
+// stamp reads the wall clock inside the deterministic set.
+func stamp() time.Time {
+	return time.Now() // want "call to time.Now"
+}
+
+// seeded draws randomness inside the deterministic set.
+func seeded() int {
+	return rand.Intn(3) // want "use of math/rand"
+}
+
+// Allowed demonstrates lint:ignore: the clock read is deliberate.
+//
+//lint:deterministic fixture: second root to exercise suppression
+func Allowed() time.Duration {
+	//lint:ignore determinism[fixture: elapsed time feeds a log line, not output bytes]
+	start := time.Now()
+	return time.Since(start)
+}
+
+// unreachableViolator is not reachable from any root: silent despite the
+// unsorted range.
+func unreachableViolator(s store) []string {
+	var order []string
+	for k := range s.m {
+		order = append(order, k)
+	}
+	return order
+}

@@ -1,0 +1,149 @@
+// Package lockorderdata is the lockorder checker fixture: declared-order
+// violations (direct and through a call chain), cycles between undeclared
+// classes, a correctly ordered pair, and a suppressed inversion.
+//
+// The declared order is split across directives to exercise merging:
+//
+//lint:lockorder lockorderdata.A < lockorderdata.B
+//lint:lockorder lockorderdata.X < lockorderdata.Y
+//lint:lockorder lockorderdata.P < lockorderdata.Q
+//lint:lockorder lockorderdata.M < lockorderdata.N
+package lockorderdata
+
+import "sync"
+
+// A orders before B.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// B orders after A.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// X orders before Y.
+type X struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Y orders after X.
+type Y struct {
+	mu sync.Mutex
+	n  int
+}
+
+// P orders before Q.
+type P struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Q orders after P.
+type Q struct {
+	mu sync.Mutex
+	n  int
+}
+
+// M orders before N.
+type M struct {
+	mu sync.Mutex
+	n  int
+}
+
+// N orders after M.
+type N struct {
+	mu sync.Mutex
+	n  int
+}
+
+// C has no declared order.
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+// D has no declared order.
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+var (
+	va A
+	vb B
+	vx X
+	vy Y
+	vp P
+	vq Q
+	vm M
+	vn N
+	vc C
+	vd D
+)
+
+// Good nests in the declared order: no finding.
+func Good() {
+	va.mu.Lock()
+	vb.mu.Lock()
+	vb.n++
+	va.n++
+	vb.mu.Unlock()
+	va.mu.Unlock()
+}
+
+// BadDirect inverts the declared X < Y pair inside one function.
+func BadDirect() {
+	vy.mu.Lock()
+	vx.mu.Lock() // want "lock order violation: lockorderdata.X acquired while holding lockorderdata.Y"
+	vx.n++
+	vx.mu.Unlock()
+	vy.mu.Unlock()
+}
+
+// HoldsQ acquires P through a helper while holding Q: the violation is
+// inter-procedural and the diagnostic names the call path.
+func HoldsQ() {
+	vq.mu.Lock()
+	defer vq.mu.Unlock()
+	lockP() // want "call path: lockorderdata.HoldsQ → lockorderdata.lockP"
+	vq.n++
+}
+
+func lockP() {
+	vp.mu.Lock()
+	vp.n++
+	vp.mu.Unlock()
+}
+
+// CycleCD and CycleDC nest two undeclared classes in opposite orders:
+// both edges of the cycle are reported.
+func CycleCD() {
+	vc.mu.Lock()
+	vd.mu.Lock() // want "lock cycle: acquiring lockorderdata.D while holding lockorderdata.C"
+	vd.n++
+	vd.mu.Unlock()
+	vc.mu.Unlock()
+}
+
+// CycleDC is the reverse half of the cycle.
+func CycleDC() {
+	vd.mu.Lock()
+	vc.mu.Lock() // want "lock cycle: acquiring lockorderdata.C while holding lockorderdata.D"
+	vc.n++
+	vc.mu.Unlock()
+	vd.mu.Unlock()
+}
+
+// SuppressedInversion demonstrates lint:ignore on a deliberate inversion.
+func SuppressedInversion() {
+	vn.mu.Lock()
+	//lint:ignore lockorder fixture: inversion is deliberate to demonstrate suppression
+	vm.mu.Lock()
+	vm.n++
+	vm.mu.Unlock()
+	vn.mu.Unlock()
+}

@@ -255,6 +255,8 @@ func (a *Assessor) AssessPopulation(pop []*privacy.Prefs) PopulationReport {
 // slice order, so feeding it the same rows in the same order as a direct
 // AssessPopulation yields bit-identical results. The rows slice is
 // retained as Providers, not copied.
+//
+//lint:deterministic assembly order defines the canonical float-sum order
 func AssemblePopulation(rows []ProviderReport) PopulationReport {
 	rep := PopulationReport{N: len(rows), Providers: rows}
 	for i := range rows {

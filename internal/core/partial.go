@@ -55,6 +55,8 @@ func (p *Partial) Sub(rep *ProviderReport) {
 // MergePartials reduces shard partials left to right — a fixed shard-order
 // reduction, so the merged float total is deterministic for a given shard
 // layout.
+//
+//lint:deterministic the fixed reduction order is what keeps shard merges reproducible
 func MergePartials(parts []Partial) Partial {
 	var out Partial
 	for i := range parts {

@@ -240,6 +240,8 @@ func (l *Ledger) Remove(key string) bool {
 // Rebuild invalidates every row against a new assessor (policy swap) and
 // re-assesses the whole population, one goroutine per shard. Each shard's
 // aggregates are re-summed from scratch in its sorted key order.
+//
+//lint:deterministic rebuilt aggregates must match a from-scratch assessment bit-for-bit
 func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -303,6 +305,8 @@ func (l *Ledger) Summary() Summary {
 // lists, O(N log P) copying, zero re-assessment. The float total is
 // re-summed in that global order, so the result is bit-identical to a full
 // recompute over the same sorted population, for every shard count.
+//
+//lint:deterministic snapshot reports feed certifications and must not depend on shard count
 func (l *Ledger) Snapshot() core.PopulationReport {
 	l.mu.RLock()
 	defer l.mu.RUnlock()

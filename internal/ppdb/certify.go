@@ -90,6 +90,8 @@ func (d *DB) Certify(alpha float64) (*Certification, error) {
 // path skips per-call validation and reconstruction; the assessment fans
 // out one worker per shard, with rows landing in sorted-population order
 // so the result is bit-identical to the serial recompute.
+//
+//lint:deterministic certification bytes are the paper's auditable artifact (Eq. 12-16)
 func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
 	if err := checkAlpha(alpha); err != nil {
 		return nil, err

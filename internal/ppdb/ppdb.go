@@ -95,6 +95,11 @@ type dbShard struct {
 }
 
 // DB is the privacy-preserving database.
+//
+// The whole-program lock order (enforced by ppdblint's lockorder checker
+// over the static call graph) is:
+//
+//lint:lockorder ppdb.DB < ppdb.dbShard < ledger.Ledger < ledger.shard
 type DB struct {
 	// mu guards the cross-shard state below (policy, tables, clock,
 	// logs, assessor, ledger pointer, policyVersion). Shard-local provider

@@ -106,12 +106,22 @@ type rowDecision struct {
 // shard count — decisions depend only on provenance, policy and the clock,
 // so rows are independent), then a serial apply phase that mutates rows in
 // ascending row-ID order, keeping the mutation sequence deterministic.
+// Tables are visited in sorted name order so the full mutation sequence —
+// not just the per-table one — is identical on every run.
+//
+//lint:deterministic the sweep mutation sequence must be reproducible for audit replay
 func (d *DB) Sweep() (SweepReport, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	rep := SweepReport{At: d.now}
 
-	for _, tm := range d.tables {
+	tableNames := make([]string, 0, len(d.tables))
+	for name := range d.tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		tm := d.tables[name]
 		schema := tm.table.Schema()
 		// Per-column effective retention level under the current policy.
 		type colPolicy struct {

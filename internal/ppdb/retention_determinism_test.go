@@ -1,0 +1,108 @@
+package ppdb
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// twoTableDB builds a PPDB with two tables registered in the given order.
+// Both tables carry the same provider and policy-covered columns so a
+// sweep mutates both.
+func twoTableDB(t *testing.T, order []string) *DB {
+	t.Helper()
+
+	hp := privacy.NewHousePolicy("sweep-det-v1")
+	hp.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 2})
+	hp.Add("patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 2})
+
+	db, err := New(Config{Policy: hp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range order {
+		schema, err := relational.NewSchema([]relational.Column{
+			{Name: "patient", Type: relational.TypeText, PrimaryKey: true},
+			{Name: "weight", Type: relational.TypeFloat},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.RegisterTable(name, schema, "patient"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	carol := privacy.NewPrefs("carol", 7)
+	carol.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 2})
+	carol.Add("patient", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 2})
+	if err := db.RegisterProvider(carol); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if _, err := db.Insert(name, "carol",
+			relational.Row{relational.Text("carol"), relational.Float(70)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestSweepDeterministicAcrossRegistrationOrder drives satellite 1 of the
+// lockorder/determinism PR: the sweep's full mutation sequence — and the
+// snapshot bytes that follow it — must not depend on the map iteration
+// order of the table registry. Registering the same tables in opposite
+// orders and sweeping past every retention horizon must yield identical
+// reports and byte-identical snapshot artifacts.
+func TestSweepDeterministicAcrossRegistrationOrder(t *testing.T) {
+	a := twoTableDB(t, []string{"alpha", "beta"})
+	b := twoTableDB(t, []string{"beta", "alpha"})
+
+	for _, db := range []*DB{a, b} {
+		if _, err := db.Advance(400 * 24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	repA, err := a.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := b.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA != repB {
+		t.Fatalf("sweep reports differ across registration order:\n a=%+v\n b=%+v", repA, repB)
+	}
+	if repA.CellsExpired == 0 && repA.RowsDeleted == 0 {
+		t.Fatal("sweep expired nothing; fixture does not exercise the mutation path")
+	}
+
+	a.mu.RLock()
+	artsA, _, errA := a.renderLocked()
+	a.mu.RUnlock()
+	b.mu.RLock()
+	artsB, _, errB := b.renderLocked()
+	b.mu.RUnlock()
+	if errA != nil || errB != nil {
+		t.Fatalf("renderLocked: %v / %v", errA, errB)
+	}
+	if len(artsA) != len(artsB) {
+		t.Fatalf("artifact sets differ: %d vs %d files", len(artsA), len(artsB))
+	}
+	for path, bytesA := range artsA {
+		bytesB, ok := artsB[path]
+		if !ok {
+			t.Errorf("artifact %s missing from second snapshot", path)
+			continue
+		}
+		if !bytes.Equal(bytesA, bytesB) {
+			t.Errorf("artifact %s differs across registration order:\n--- a\n%s\n--- b\n%s", path, bytesA, bytesB)
+		}
+	}
+}
