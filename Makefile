@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint lint-baseline check ci test race faults bench bench-shards bench-all benchgate experiments cover
+.PHONY: all build vet lint lint-baseline check ci test race faults bench bench-shards bench-all benchgate profile experiments cover
 
 all: build vet test
 
@@ -69,6 +69,18 @@ bench-all:
 # After an intentional perf change, re-record the baseline with `make bench`.
 benchgate:
 	./scripts/benchgate.sh
+
+# profile captures CPU and heap profiles of the cold 100k certification
+# (the columnar kernel's hot path, DESIGN.md §13) into profiles/, which is
+# gitignored. Inspect with `go tool pprof profiles/certify_cpu.out`.
+profile:
+	mkdir -p profiles
+	go test -run '^$$' -bench '^BenchmarkCertifyCold/100k' -benchmem \
+		-cpuprofile profiles/certify_cpu.out \
+		-memprofile profiles/certify_mem.out \
+		-o profiles/certify.test \
+		-benchtime "$${BENCHTIME:-1s}" -timeout 30m .
+	@echo "profiles written to profiles/ — inspect with: go tool pprof profiles/certify_cpu.out"
 
 experiments:
 	go run ./cmd/experiments -run all

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+// randomPolicy draws a house policy over a pool of attributes and purposes:
+// 1..4 tuples per attribute, random levels on the default scales.
+func randomPolicy(rng *rand.Rand, attrs []string, purposes []privacy.Purpose) *privacy.HousePolicy {
+	hp := privacy.NewHousePolicy("rand")
+	for _, a := range attrs {
+		n := 1 + rng.Intn(4)
+		perm := rng.Perm(len(purposes))
+		for k := 0; k < n && k < len(perm); k++ {
+			hp.Add(a, privacy.Tuple{
+				Purpose:     purposes[perm[k]],
+				Visibility:  privacy.Level(rng.Intn(5)),
+				Granularity: privacy.Level(rng.Intn(4)),
+				Retention:   privacy.Level(rng.Intn(6)),
+			})
+		}
+	}
+	return hp
+}
+
+// randomPrefs draws one provider: a random subset of attributes (sometimes
+// attributes the policy does not cover), random purposes (sometimes
+// purposes the policy does not use), random sensitivities including
+// per-purpose overrides, and a small threshold so defaults actually occur.
+func randomPrefs(rng *rand.Rand, name string, attrs []string, purposes []privacy.Purpose) *privacy.Prefs {
+	p := privacy.NewPrefs(name, rng.Float64()*8)
+	for _, a := range attrs {
+		if rng.Float64() < 0.25 {
+			continue // leave the attribute to the implicit-zero rule
+		}
+		n := rng.Intn(3)
+		perm := rng.Perm(len(purposes))
+		for k := 0; k < n && k < len(perm); k++ {
+			p.Add(a, privacy.Tuple{
+				Purpose:     purposes[perm[k]],
+				Visibility:  privacy.Level(rng.Intn(5)),
+				Granularity: privacy.Level(rng.Intn(4)),
+				Retention:   privacy.Level(rng.Intn(6)),
+			})
+		}
+		if rng.Float64() < 0.7 {
+			p.SetSensitivity(a, privacy.Sensitivity{
+				Value:       rng.Float64() * 2,
+				Visibility:  rng.Float64() * 2,
+				Granularity: rng.Float64() * 2,
+				Retention:   rng.Float64() * 2,
+			})
+		}
+		if rng.Float64() < 0.3 {
+			p.SetPurposeSensitivity(a, purposes[rng.Intn(len(purposes))], privacy.Sensitivity{
+				Value:       rng.Float64() * 3,
+				Visibility:  rng.Float64(),
+				Granularity: rng.Float64(),
+				Retention:   rng.Float64(),
+			})
+		}
+	}
+	return p
+}
+
+// TestAssessCompiledMatchesReference is the randomized-population property
+// test: across seeds, matchers and the implicit-zero ablation, the columnar
+// kernel must produce a report identical — field-for-field and in JSON
+// bytes — to the reference AssessProvider.
+func TestAssessCompiledMatchesReference(t *testing.T) {
+	attrs := []string{"income", "weight", "Email", " Address "}
+	extraAttrs := append(append([]string(nil), attrs...), "uncovered")
+	purposes := []privacy.Purpose{"service", "marketing", "research", "Sharing"}
+	extraPurposes := append(append([]privacy.Purpose(nil), purposes...), "unused")
+
+	lat := privacy.NewLattice()
+	if err := lat.AddEdge("marketing", "sharing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.AddEdge("service", "research"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{1, 42, 2011, 20260808} {
+		for _, opts := range []Options{
+			{},
+			{DisableImplicitZero: true},
+			{Matcher: lat},
+		} {
+			name := fmt.Sprintf("seed=%d/implicit=%v/lattice=%v", seed, !opts.DisableImplicitZero, opts.Matcher != nil)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				hp := randomPolicy(rng, attrs, purposes)
+				sens := privacy.AttributeSensitivities{"income": 2.5, "email": 0.5}
+				a, err := NewAssessor(hp, sens, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sc Scratch
+				for i := 0; i < 200; i++ {
+					p := randomPrefs(rng, fmt.Sprintf("p%03d", i), extraAttrs, extraPurposes)
+					want := a.AssessProvider(p)
+					c := a.Compile(p)
+					if c == nil {
+						t.Fatalf("Compile returned nil for a maskable policy")
+					}
+					got := a.AssessCompiled(c, &sc)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("provider %d: kernel report differs\n got: %+v\nwant: %+v", i, got, want)
+					}
+					gj, _ := json.Marshal(got)
+					wj, _ := json.Marshal(want)
+					if string(gj) != string(wj) {
+						t.Fatalf("provider %d: JSON differs\n got: %s\nwant: %s", i, gj, wj)
+					}
+					if rep := a.AssessRow(p, c, &sc); !reflect.DeepEqual(rep, want) {
+						t.Fatalf("provider %d: AssessRow (compiled) differs from reference", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAssessRowFallbacks covers every dispatch edge: nil columns, a policy
+// too wide for cover masks, and columns compiled under a different policy.
+func TestAssessRowFallbacks(t *testing.T) {
+	hp := privacy.NewHousePolicy("hp").
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 3, Granularity: 2, Retention: 4})
+	a, err := NewAssessor(hp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := privacy.NewPrefs("prov", 0.5).
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 1, Granularity: 1, Retention: 1})
+	want := a.AssessProvider(p)
+	var sc Scratch
+
+	if got := a.AssessRow(p, nil, &sc); !reflect.DeepEqual(got, want) {
+		t.Errorf("nil compiled: AssessRow differs from reference")
+	}
+	if got := a.AssessRow(p, a.Compile(p), nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("nil scratch: AssessRow differs from reference")
+	}
+
+	// A policy with > 64 tuples on one attribute overflows the cover mask:
+	// Compile must decline, and AssessRow must still answer correctly.
+	wide := privacy.NewHousePolicy("wide")
+	for i := 0; i < 70; i++ {
+		wide.Add("a", privacy.Tuple{Purpose: privacy.Purpose(fmt.Sprintf("pu%02d", i)), Visibility: 2})
+	}
+	wa, err := NewAssessor(wide, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.Compiled().Maskable() {
+		t.Fatalf("70-tuple attribute should not be maskable")
+	}
+	if c := wa.Compile(p); c != nil {
+		t.Fatalf("Compile should decline an unmaskable policy")
+	}
+	wideWant := wa.AssessProvider(p)
+	if got := wa.AssessRow(p, nil, &sc); !reflect.DeepEqual(got, wideWant) {
+		t.Errorf("unmaskable policy: AssessRow differs from reference")
+	}
+
+	// Columns compiled under another policy must be rejected, not trusted.
+	other := privacy.NewHousePolicy("other").
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 4, Granularity: 3, Retention: 5})
+	oa, err := NewAssessor(other, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := oa.Compile(p)
+	if stale.CurrentFor(a) {
+		t.Fatalf("columns compiled under another policy report CurrentFor = true")
+	}
+	if got := a.AssessRow(p, stale, &sc); !reflect.DeepEqual(got, want) {
+		t.Errorf("stale compiled: AssessRow differs from reference")
+	}
+}
+
+// TestRetentionCeiling pins the per-attribute retention ceiling the sweep
+// consumes: the maximum over the attribute's policy tuples.
+func TestRetentionCeiling(t *testing.T) {
+	hp := privacy.NewHousePolicy("hp").
+		Add("a", privacy.Tuple{Purpose: "p1", Retention: 2}).
+		Add("a", privacy.Tuple{Purpose: "p2", Retention: 5}).
+		Add("b", privacy.Tuple{Purpose: "p1", Retention: 0})
+	a, err := NewAssessor(hp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := a.Compiled()
+	if l, ok := cp.RetentionCeiling("A"); !ok || l != 5 {
+		t.Errorf("RetentionCeiling(a) = %d, %v; want 5, true", l, ok)
+	}
+	if l, ok := cp.RetentionCeiling("b"); !ok || l != 0 {
+		t.Errorf("RetentionCeiling(b) = %d, %v; want 0, true", l, ok)
+	}
+	if _, ok := cp.RetentionCeiling("zzz"); ok {
+		t.Errorf("RetentionCeiling(zzz) should report no coverage")
+	}
+}
+
+// TestAssessCompiledZeroAlloc pins the kernel's zero-allocation claim for
+// non-violated providers (after scratch warm-up): the hot certification
+// loop must not touch the heap for the common clean row.
+func TestAssessCompiledZeroAlloc(t *testing.T) {
+	hp := privacy.NewHousePolicy("hp").
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 1, Granularity: 1, Retention: 1}).
+		Add("b", privacy.Tuple{Purpose: "svc", Visibility: 1, Granularity: 1, Retention: 1})
+	a, err := NewAssessor(hp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := privacy.NewPrefs("clean", privacy.NoDefaultThreshold).
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 4, Granularity: 3, Retention: 5}).
+		Add("b", privacy.Tuple{Purpose: "svc", Visibility: 4, Granularity: 3, Retention: 5})
+	c := a.Compile(clean)
+	if c == nil {
+		t.Fatal("Compile returned nil")
+	}
+	var sc Scratch
+	if rep := a.AssessCompiled(c, &sc); rep.Violated {
+		t.Fatalf("clean provider reported violated: %+v", rep)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = a.AssessCompiled(c, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("AssessCompiled allocates %.1f objects/op for a clean provider; want 0", allocs)
+	}
+
+	// A violated provider allocates only the materialized report (2 slices).
+	hot := privacy.NewPrefs("hot", 0).
+		Add("a", privacy.Tuple{Purpose: "svc", Visibility: 0, Granularity: 0, Retention: 0})
+	hc := a.Compile(hot)
+	a.AssessCompiled(hc, &sc) // warm the arena
+	allocs = testing.AllocsPerRun(100, func() {
+		_ = a.AssessCompiled(hc, &sc)
+	})
+	if allocs > 2 {
+		t.Errorf("AssessCompiled allocates %.1f objects/op for a violated provider; want <= 2", allocs)
+	}
+}

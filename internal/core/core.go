@@ -84,10 +84,16 @@ type Assessor struct {
 	policy   *privacy.HousePolicy
 	attrSens privacy.AttributeSensitivities
 	opts     Options
+	// compiled is the policy flattened for the columnar kernel (compile.go),
+	// built once here so every Compile/AssessCompiled call shares it.
+	compiled *CompiledPolicy
 }
 
 // NewAssessor builds an assessor for policy hp with house attribute
-// sensitivities Σ (nil means Σ^a = 1 for every attribute).
+// sensitivities Σ (nil means Σ^a = 1 for every attribute). The policy is
+// flattened for the columnar kernel at construction, so hp must not be
+// mutated afterwards (the immutable-by-convention rule internal/ppdb
+// already imposes: policy changes swap the pointer via SetPolicy).
 func NewAssessor(hp *privacy.HousePolicy, attrSens privacy.AttributeSensitivities, opts Options) (*Assessor, error) {
 	if hp == nil {
 		return nil, fmt.Errorf("core: nil house policy")
@@ -95,7 +101,12 @@ func NewAssessor(hp *privacy.HousePolicy, attrSens privacy.AttributeSensitivitie
 	if err := attrSens.Validate(); err != nil {
 		return nil, err
 	}
-	return &Assessor{policy: hp, attrSens: attrSens, opts: opts}, nil
+	return &Assessor{
+		policy:   hp,
+		attrSens: attrSens,
+		opts:     opts,
+		compiled: compilePolicy(hp, attrSens),
+	}, nil
 }
 
 // Policy returns the policy being assessed.

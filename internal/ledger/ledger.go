@@ -82,6 +82,10 @@ type shard struct {
 	entries map[string]*entry
 	keys    []string // sorted; kept in lockstep with entries
 	agg     core.Partial
+	// scratch is the shard's columnar-kernel arena, used only while mu is
+	// held exclusively (the only times the shard assesses), so it needs no
+	// lock of its own and re-assessments on this shard never allocate it.
+	scratch core.Scratch
 }
 
 // Ledger is the sharded materialized violation view. Safe for concurrent
@@ -100,11 +104,15 @@ type Ledger struct {
 	rows   atomic.Int64 // total live entries across shards (gauge feed)
 }
 
-// Item is one (key, prefs, version) triple for batch application.
+// Item is one (key, prefs, version) triple for batch application. Compiled
+// optionally carries the provider's columnar tuple columns (compiled by the
+// caller against the ledger's current assessor); when present and current,
+// re-assessments run the columnar kernel instead of the reference walk.
 type Item struct {
-	Key     string
-	Prefs   *privacy.Prefs
-	Version uint64
+	Key      string
+	Prefs    *privacy.Prefs
+	Compiled *core.CompiledPrefs
+	Version  uint64
 }
 
 // Summary is the O(P) population answer merged from the shards' running
@@ -175,6 +183,15 @@ func (l *Ledger) Len() int {
 // provider's shard is locked, so edits on different shards run in
 // parallel.
 func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) core.ProviderReport {
+	return l.UpsertCompiled(key, prefs, nil, prefsVersion)
+}
+
+// UpsertCompiled is Upsert with the provider's columnar tuple columns
+// supplied by the caller (internal/ppdb compiles them once per registration
+// and shares them with its own store). A memo miss then runs the columnar
+// kernel in the shard's scratch arena; a nil or stale compiled value falls
+// back to the reference assessment, so the result is identical either way.
+func (l *Ledger) UpsertCompiled(key string, prefs *privacy.Prefs, compiled *core.CompiledPrefs, prefsVersion uint64) core.ProviderReport {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	s := l.shardOf(key)
@@ -185,7 +202,7 @@ func (l *Ledger) Upsert(key string, prefs *privacy.Prefs, prefsVersion uint64) c
 		return e.report
 	}
 	mMemoMisses.Inc()
-	rep := l.assessor.AssessOne(prefs)
+	rep := l.assessor.AssessRow(prefs, compiled, &s.scratch)
 	l.applyLocked(s, key, prefs, prefsVersion, rep)
 	return rep
 }
@@ -211,7 +228,7 @@ func (l *Ledger) UpsertBatch(items []Item) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for _, it := range buckets[i] {
-			rep := l.assessor.AssessOne(it.Prefs)
+			rep := l.assessor.AssessRow(it.Prefs, it.Compiled, &s.scratch)
 			l.applyLocked(s, it.Key, it.Prefs, it.Version, rep)
 		}
 	})
@@ -243,6 +260,17 @@ func (l *Ledger) Remove(key string) bool {
 //
 //lint:deterministic rebuilt aggregates must match a from-scratch assessment bit-for-bit
 func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
+	l.RebuildCompiled(a, policyVersion, nil)
+}
+
+// RebuildCompiled is Rebuild with provider tuple columns recompiled against
+// the new assessor supplied by the caller (internal/ppdb recompiles its
+// store during SetPolicy and hands the same columns here, so the population
+// is compiled once, not twice). Keys missing from compiled — or a nil map —
+// fall back to the reference assessment per row; results are identical.
+//
+//lint:deterministic rebuilt aggregates must match a from-scratch assessment bit-for-bit
+func (l *Ledger) RebuildCompiled(a *core.Assessor, policyVersion uint64, compiled map[string]*core.CompiledPrefs) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	mRebuilds.Inc()
@@ -255,7 +283,7 @@ func (l *Ledger) Rebuild(a *core.Assessor, policyVersion uint64) {
 		s.agg = core.Partial{}
 		for _, k := range s.keys {
 			e := s.entries[k]
-			e.report = a.AssessOne(e.prefs)
+			e.report = a.AssessRow(e.prefs, compiled[k], &s.scratch)
 			e.policyVersion = policyVersion
 			s.agg.Add(&e.report)
 		}

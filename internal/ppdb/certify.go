@@ -83,13 +83,15 @@ func (d *DB) Certify(alpha float64) (*Certification, error) {
 	return certification(now, policy.Name, alpha, rep), nil
 }
 
-// CertifyFull recomputes the certification from scratch over the sorted
-// population — the seed O(N) path, kept as the ledger's fallback and as
-// the oracle the equivalence tests compare against. The constructed
-// assessor is cached on the DB (invalidated by SetPolicy), so even this
-// path skips per-call validation and reconstruction; the assessment fans
-// out one worker per shard, with rows landing in sorted-population order
-// so the result is bit-identical to the serial recompute.
+// CertifyFull recomputes the certification from scratch over the whole
+// population — the O(N) cold path, kept as the ledger's fallback and as the
+// oracle the equivalence tests compare against. It runs the columnar kernel
+// (DESIGN.md §13) over each shard's compiled tuple columns, one worker and
+// one scratch arena per shard, then merges the per-shard sorted rows into
+// global sorted provider order before assembling — the same enumeration and
+// float-sum order as the serial row-oriented recompute, so the result is
+// bit-identical to it (providers without compiled columns fall back to the
+// reference assessment per row).
 //
 //lint:deterministic certification bytes are the paper's auditable artifact (Eq. 12-16)
 func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
@@ -100,11 +102,48 @@ func (d *DB) CertifyFull(alpha float64) (*Certification, error) {
 	d.mu.RLock()
 	policy := d.policy
 	assessor := d.assessor
-	pop := d.populationShared()
 	now := d.now
-	workers := len(d.shards)
+	snaps := d.snapshotShardsShared()
 	d.mu.RUnlock()
-	rep := assessor.AssessPopulationParallel(pop, workers)
+
+	// Assess shard-by-shard: the states are immutable snapshots, so no lock
+	// is needed; each worker reuses one scratch arena across its whole run.
+	rowsByShard := make([][]core.ProviderReport, len(snaps))
+	core.FanOut(len(snaps), len(snaps), func(i int) {
+		sn := snaps[i]
+		if len(sn.keys) == 0 {
+			return
+		}
+		rows := make([]core.ProviderReport, len(sn.states))
+		var sc core.Scratch
+		for j, st := range sn.states {
+			rows[j] = assessor.AssessRow(st.prefs, st.compiled, &sc)
+		}
+		rowsByShard[i] = rows
+	})
+
+	// P-way merge of the per-shard sorted runs into global sorted provider
+	// order — the canonical float-sum order of AssemblePopulation.
+	total := 0
+	for i := range snaps {
+		total += len(snaps[i].keys)
+	}
+	rows := make([]core.ProviderReport, 0, total)
+	cursors := make([]int, len(snaps))
+	for len(rows) < total {
+		best := -1
+		for i := range snaps {
+			if cursors[i] >= len(snaps[i].keys) {
+				continue
+			}
+			if best < 0 || snaps[i].keys[cursors[i]] < snaps[best].keys[cursors[best]] {
+				best = i
+			}
+		}
+		rows = append(rows, rowsByShard[best][cursors[best]])
+		cursors[best]++
+	}
+	rep := core.AssemblePopulation(rows)
 	return certification(now, policy.Name, alpha, rep), nil
 }
 

@@ -80,17 +80,36 @@ type tableMeta struct {
 	rows        map[relational.RowID]*rowMeta
 }
 
+// providerState is one provider's stored state: the registered preferences
+// and their columnar compilation against the current policy (nil when the
+// policy is not maskable — the kernel's fallback case). A providerState is
+// immutable once installed; every registration and every policy recompile
+// installs a fresh value, so certification workers may keep reading a
+// snapshot of states after the shard lock is released.
+type providerState struct {
+	prefs    *privacy.Prefs
+	compiled *core.CompiledPrefs
+	// version is the shard prefsVersion stamped at this provider's latest
+	// registration — the same counter value the ledger row is keyed on, so
+	// a policy recompile can preserve it on the fresh columns.
+	version uint64
+}
+
 // dbShard owns the providers whose canonical key hashes to its index:
-// their preference pointers and the shard's monotonic registration
-// counter. Provider keys always land on the same shard index as their
-// ledger partition (both use core.ShardIndex with the same count), so a
-// provider's store shard and ledger shard coincide.
+// their preference pointers, their compiled tuple columns, the shard's
+// sorted key list and its monotonic registration counter. Provider keys
+// always land on the same shard index as their ledger partition (both use
+// core.ShardIndex with the same count), so a provider's store shard and
+// ledger shard coincide.
 type dbShard struct {
 	mu        sync.RWMutex
-	providers map[string]*privacy.Prefs
+	providers map[string]*providerState
+	// keys mirrors the providers map in sorted order, so population-scale
+	// reads merge per-shard sorted runs instead of re-sorting the world.
+	keys []string
 	// prefsVersion counts registrations on this shard; stamped onto each
-	// provider's ledger row. Per-shard counters stay monotone per provider
-	// because a provider never changes shards.
+	// provider's ledger row and compiled columns. Per-shard counters stay
+	// monotone per provider because a provider never changes shards.
 	prefsVersion uint64
 }
 
@@ -250,7 +269,7 @@ func New(cfg Config) (*DB, error) {
 		policyVersion: 1,
 	}
 	for i := range d.shards {
-		d.shards[i] = &dbShard{providers: make(map[string]*privacy.Prefs)}
+		d.shards[i] = &dbShard{providers: make(map[string]*providerState)}
 	}
 	if !cfg.DisableIncremental {
 		led, err := ledger.NewSharded(assessor, d.policyVersion, nShards)
@@ -359,16 +378,29 @@ func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 
 // registerShared stores validated preferences under the owning shard's
 // lock, stamping a fresh prefs version and upserting the ledger row. The
-// caller holds d.mu at least shared (so the policy cannot swap mid-write).
+// preferences are compiled into columnar form once, outside the shard
+// lock, and the same columns are shared with the ledger so its delta
+// re-assessment runs the kernel too. The caller holds d.mu at least shared
+// (so the policy cannot swap mid-write).
 func (d *DB) registerShared(p *privacy.Prefs) {
 	key := strings.ToLower(p.Provider)
+	c := d.assessor.Compile(p)
 	s := d.shardOf(key)
 	s.mu.Lock()
 	_, existed := s.providers[key]
-	s.providers[key] = p
 	s.prefsVersion++
+	if c != nil {
+		c.PrefsVersion = s.prefsVersion
+	}
+	s.providers[key] = &providerState{prefs: p, compiled: c, version: s.prefsVersion}
+	if !existed {
+		i := sort.SearchStrings(s.keys, key)
+		s.keys = append(s.keys, "")
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = key
+	}
 	if d.ledger != nil {
-		d.ledger.Upsert(key, p, s.prefsVersion)
+		d.ledger.UpsertCompiled(key, p, c, s.prefsVersion)
 	}
 	s.mu.Unlock()
 	if !existed {
@@ -404,14 +436,24 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 		s := d.shards[i]
 		s.mu.Lock()
 		items := make([]ledger.Item, 0, len(buckets[i]))
+		var fresh []string
 		for _, p := range buckets[i] {
 			key := strings.ToLower(p.Provider)
 			if _, existed := s.providers[key]; !existed {
 				d.nProviders.Add(1)
+				fresh = append(fresh, key)
 			}
-			s.providers[key] = p
+			c := d.assessor.Compile(p)
 			s.prefsVersion++
-			items = append(items, ledger.Item{Key: key, Prefs: p, Version: s.prefsVersion})
+			if c != nil {
+				c.PrefsVersion = s.prefsVersion
+			}
+			s.providers[key] = &providerState{prefs: p, compiled: c, version: s.prefsVersion}
+			items = append(items, ledger.Item{Key: key, Prefs: p, Compiled: c, Version: s.prefsVersion})
+		}
+		if len(fresh) > 0 {
+			sort.Strings(fresh)
+			s.keys = mergeSortedKeys(s.keys, fresh)
 		}
 		s.mu.Unlock()
 		shardItems[i] = items
@@ -438,11 +480,40 @@ func (d *DB) Provider(name string) (*privacy.Prefs, bool) {
 // lookupShared reads one provider under its shard lock; the caller holds
 // d.mu at least shared.
 func (d *DB) lookupShared(key string) (*privacy.Prefs, bool) {
+	st, ok := d.stateShared(key)
+	if !ok {
+		return nil, false
+	}
+	return st.prefs, true
+}
+
+// stateShared reads one provider's full stored state (preferences plus
+// compiled columns) under its shard lock; the caller holds d.mu at least
+// shared. The returned state is immutable.
+func (d *DB) stateShared(key string) (*providerState, bool) {
 	s := d.shardOf(key)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	p, ok := s.providers[key]
-	return p, ok
+	st, ok := s.providers[key]
+	return st, ok
+}
+
+// mergeSortedKeys merges a sorted key list with a sorted batch of new keys
+// (disjoint from the existing list) into one sorted list.
+func mergeSortedKeys(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Providers returns all registered preferences, sorted by provider key so
@@ -492,26 +563,62 @@ func (d *DB) ProvidersPage(prefix string, offset, limit int) (int, []string) {
 // sortedProvidersShared snapshots every shard under its lock and returns
 // the providers in global sorted key order — the one iteration order every
 // assessment and persistence path shares, so float sums and artifacts are
-// reproducible run to run and identical for every shard count. The caller
-// holds d.mu at least shared.
+// reproducible run to run and identical for every shard count. Each shard
+// already keeps its keys sorted, so this is a P-way merge of sorted runs
+// (no global re-sort and no map iteration). The caller holds d.mu at least
+// shared.
 func (d *DB) sortedProvidersShared() ([]string, []*privacy.Prefs) {
-	n := int(d.nProviders.Load())
-	keys := make([]string, 0, n)
-	byKey := make(map[string]*privacy.Prefs, n)
-	for _, s := range d.shards {
-		s.mu.RLock()
-		for k, p := range s.providers {
-			keys = append(keys, k)
-			byKey[k] = p
-		}
-		s.mu.RUnlock()
+	snaps := d.snapshotShardsShared()
+	total := 0
+	for i := range snaps {
+		total += len(snaps[i].keys)
 	}
-	sort.Strings(keys)
-	prefs := make([]*privacy.Prefs, len(keys))
-	for i, k := range keys {
-		prefs[i] = byKey[k]
+	keys := make([]string, 0, total)
+	prefs := make([]*privacy.Prefs, 0, total)
+	cursors := make([]int, len(snaps))
+	for len(keys) < total {
+		best := -1
+		for i := range snaps {
+			if cursors[i] >= len(snaps[i].keys) {
+				continue
+			}
+			if best < 0 || snaps[i].keys[cursors[i]] < snaps[best].keys[cursors[best]] {
+				best = i
+			}
+		}
+		keys = append(keys, snaps[best].keys[cursors[best]])
+		prefs = append(prefs, snaps[best].states[cursors[best]].prefs)
+		cursors[best]++
 	}
 	return keys, prefs
+}
+
+// shardSnap is one shard's consistent (keys, states) snapshot: keys in
+// sorted order, states[i] the immutable stored state of keys[i].
+type shardSnap struct {
+	keys   []string
+	states []*providerState
+}
+
+// snapshotShardsShared copies every shard's sorted key list and state
+// pointers under that shard's read lock — the consistent per-shard view the
+// population-scale paths (certification, persistence, listings) fan out
+// over after releasing the locks. The caller holds d.mu at least shared.
+func (d *DB) snapshotShardsShared() []shardSnap {
+	snaps := make([]shardSnap, len(d.shards))
+	for i, s := range d.shards {
+		s.mu.RLock()
+		sn := shardSnap{
+			keys:   append([]string(nil), s.keys...),
+			states: make([]*providerState, len(s.keys)),
+		}
+		for j, k := range s.keys {
+			sn.states[j] = s.providers[k]
+		}
+		s.mu.RUnlock()
+		snaps[i] = sn
+	}
+	return snaps
 }
 
 // populationShared is sortedProvidersShared without the keys.
@@ -530,6 +637,10 @@ func (d *DB) RemoveProvider(name string) int {
 	s.mu.Lock()
 	_, existed := s.providers[key]
 	delete(s.providers, key)
+	if existed {
+		i := sort.SearchStrings(s.keys, key)
+		s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	}
 	s.mu.Unlock()
 	if existed {
 		d.nProviders.Add(-1)
@@ -618,7 +729,8 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	if d.ledger != nil {
 		before := d.ledger.Summary()
 		d.policyVersion++
-		d.ledger.Rebuild(after, d.policyVersion)
+		compiled := d.recompileShardsLocked(after)
+		d.ledger.RebuildCompiled(after, d.policyVersion, compiled)
 		afterSum := d.ledger.Summary()
 		change.DeltaPW = afterSum.PW - before.PW
 		change.DeltaPDefault = afterSum.PDefault - before.PDefault
@@ -627,6 +739,7 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 		pop := d.populationShared()
 		bRep := d.assessor.AssessPopulationParallel(pop, len(d.shards))
 		aRep := after.AssessPopulationParallel(pop, len(d.shards))
+		d.recompileShardsLocked(after)
 		change.DeltaPW = aRep.PW - bRep.PW
 		change.DeltaPDefault = aRep.PDefault - bRep.PDefault
 	}
@@ -635,4 +748,41 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	d.policyLog = append(d.policyLog, change)
 	d.publishGauges()
 	return change, nil
+}
+
+// recompileShardsLocked recompiles every provider's tuple columns against
+// a new assessor, one goroutine per shard, installing fresh immutable
+// providerStates and returning the compiled rows keyed by canonical
+// provider key (for handing to the ledger rebuild, so the population is
+// compiled exactly once per policy swap). The caller holds d.mu
+// exclusively.
+func (d *DB) recompileShardsLocked(after *core.Assessor) map[string]*core.CompiledPrefs {
+	shardMaps := make([]map[string]*core.CompiledPrefs, len(d.shards))
+	core.FanOut(len(d.shards), len(d.shards), func(i int) {
+		s := d.shards[i]
+		s.mu.Lock()
+		m := make(map[string]*core.CompiledPrefs, len(s.providers))
+		for _, k := range s.keys {
+			st := s.providers[k]
+			c := after.Compile(st.prefs)
+			if c != nil {
+				c.PrefsVersion = st.version
+			}
+			s.providers[k] = &providerState{prefs: st.prefs, compiled: c, version: st.version}
+			m[k] = c
+		}
+		s.mu.Unlock()
+		shardMaps[i] = m
+	})
+	total := 0
+	for _, m := range shardMaps {
+		total += len(m)
+	}
+	compiled := make(map[string]*core.CompiledPrefs, total)
+	for _, m := range shardMaps {
+		for k, c := range m {
+			compiled[k] = c
+		}
+	}
+	return compiled
 }

@@ -133,12 +133,11 @@ func (d *DB) Sweep() (SweepReport, error) {
 		for i := 0; i < schema.Len(); i++ {
 			name := schema.Column(i).Name
 			cp := colPolicy{idx: i}
-			for _, pt := range d.policy.ForAttribute(name) {
-				if !cp.covered || pt.Tuple.Retention > cp.level {
-					cp.level = pt.Tuple.Retention
-				}
-				cp.covered = true
-			}
+			// The compiled policy precomputes each attribute's retention
+			// ceiling (max over its tuples — data is kept while any purpose
+			// still needs it), so the sweep does one interner lookup per
+			// column instead of materializing the attribute's tuple list.
+			cp.level, cp.covered = d.assessor.Compiled().RetentionCeiling(name)
 			cols[i] = cp
 		}
 

@@ -90,7 +90,7 @@ func (d *DB) UpdateOwnRow(provider, table string, id relational.RowID, row relat
 func (d *DB) SelfAudit(provider string) (core.ProviderReport, error) {
 	key := strings.ToLower(provider)
 	d.mu.RLock()
-	prefs, ok := d.lookupShared(key)
+	st, ok := d.stateShared(key)
 	assessor := d.assessor
 	if ok && d.ledger != nil {
 		if rep, hit := d.ledger.Report(key); hit {
@@ -102,7 +102,8 @@ func (d *DB) SelfAudit(provider string) (core.ProviderReport, error) {
 	if !ok {
 		return core.ProviderReport{}, fmt.Errorf("ppdb: provider %q is not registered", provider)
 	}
-	return assessor.AssessProvider(prefs), nil
+	var sc core.Scratch
+	return assessor.AssessRow(st.prefs, st.compiled, &sc), nil
 }
 
 // UpdatePreferences lets a provider revise their preference tuples (and

@@ -39,8 +39,9 @@ func NewHousePolicy(name string) *HousePolicy {
 }
 
 // canonAttr normalizes attribute names; the model is case-insensitive on
-// attribute identity, matching SQL identifier conventions.
-func canonAttr(a string) string { return strings.ToLower(strings.TrimSpace(a)) }
+// attribute identity, matching SQL identifier conventions. The exported
+// spelling lives in intern.go (CanonAttr).
+func canonAttr(a string) string { return CanonAttr(a) }
 
 // Add appends a policy tuple for attribute attr. Duplicate
 // (attribute, purpose) pairs are allowed by the set model but usually

@@ -3,9 +3,10 @@
 # (BenchmarkCertifyCold / BenchmarkCertifyIncremental /
 # BenchmarkCertifySummary) plus the sharding benches
 # (BenchmarkCertifyColdShards / BenchmarkBulkIngestShards, one sub-bench
-# per shard count — see bench_test.go) and records ns/op plus the
-# cold→incremental speedup per population size into BENCH_certify.json at
-# the repo root. Wired as `make bench`; not part of `make check`.
+# per shard count — see bench_test.go) and records ns/op and allocs/op
+# plus the cold→incremental speedup per population size into
+# BENCH_certify.json at the repo root. Wired as `make bench`; not part of
+# `make check`.
 #
 # BENCH_PATTERN restricts the run to a subset (e.g. `make bench-shards`
 # sets '^Benchmark(CertifyColdShards|BulkIngestShards)'); entries already
@@ -17,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|Incremental|Summary)|BulkIngestShards)}"
+pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards)}"
 out=$(go test -run '^$' -bench "$pattern" \
 	-benchtime "${BENCHTIME:-1s}" -benchmem -timeout 30m .)
 printf '%s\n' "$out"
@@ -31,26 +32,35 @@ prev=$(mktemp)
 
 printf '%s\n' "$out" | awk '
 NR == FNR {
-	# Baseline lines look like {"name": "BenchmarkCertifyCold/1k", "ns_per_op": 2778438},
+	# Baseline lines look like
+	# {"name": "BenchmarkCertifyCold/1k", "ns_per_op": 2778438, "allocs_per_op": 12},
+	# (allocs_per_op is absent in pre-columnar baselines and carried as such).
 	if (match($0, /"name": "[^"]+"/)) {
 		name = substr($0, RSTART + 9, RLENGTH - 10)
 		if (match($0, /"ns_per_op": [0-9.]+/)) {
 			if (!(name in vals)) names[++n] = name
 			vals[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+			if (match($0, /"allocs_per_op": [0-9.]+/))
+				allocs[name] = substr($0, RSTART + 17, RLENGTH - 17) + 0
 		}
 	}
 	next
 }
 /^Benchmark(Certify|BulkIngest)/ {
+	# -benchmem lines: name iters ns/op-value "ns/op" B-value "B/op"
+	# allocs-value "allocs/op".
 	name = $1; sub(/-[0-9]+$/, "", name)
 	if (!(name in vals)) names[++n] = name
 	vals[name] = $3
+	if (NF >= 7 && $8 == "allocs/op") allocs[name] = $7
 }
 END {
 	printf "{\n  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %s}%s\n", \
-			names[i], vals[names[i]], (i < n ? "," : "")
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], vals[names[i]]
+		if (names[i] in allocs)
+			printf ", \"allocs_per_op\": %s", allocs[names[i]]
+		printf "}%s\n", (i < n ? "," : "")
 	}
 	printf "  ],\n  \"speedup_cold_over_incremental\": {"
 	sep = ""

@@ -18,14 +18,19 @@ if [ ! -f "$baseline" ]; then
 	exit 1
 fi
 
-out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|Incremental|Summary)|BulkIngestShards)' \
+# The pattern names every gated bench explicitly, including the sharding
+# benches (CertifyColdShards/BulkIngestShards run one sub-bench per shard
+# count; each sub-bench is compared against its own baseline entry).
+out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards)' \
 	-benchtime "${BENCHTIME:-1s}" -timeout 30m .)
 printf '%s\n' "$out"
 echo
 
 printf '%s\n' "$out" | awk -v tol="${BENCH_TOLERANCE:-25}" '
 NR == FNR {
-	# Baseline lines look like {"name": "BenchmarkCertifyCold/1k", "ns_per_op": 2778438},
+	# Baseline lines look like
+	# {"name": "BenchmarkCertifyCold/1k", "ns_per_op": 2778438, "allocs_per_op": 12},
+	# — only ns_per_op is gated; allocs_per_op is recorded for inspection.
 	if (match($0, /"name": "[^"]+"/)) {
 		name = substr($0, RSTART + 9, RLENGTH - 10)
 		if (match($0, /"ns_per_op": [0-9.]+/))
