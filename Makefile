@@ -2,7 +2,7 @@
 # `make check` is the single gate CI runs (scripts/ci.sh wraps it and adds
 # the targeted race pass).
 
-.PHONY: all build vet lint lint-baseline check ci test race faults bench bench-shards bench-all benchgate profile experiments cover
+.PHONY: all build vet lint lint-baseline check ci test race faults faults-wal bench bench-shards bench-all benchgate profile experiments cover
 
 all: build vet test
 
@@ -47,6 +47,15 @@ race:
 faults:
 	go test -run 'Crash|Fault|Panic|Injected|Shed|Drain|Snapshot|Corrupted|Generation|Health' \
 		./internal/fault/... ./internal/ppdb/... ./internal/httpapi/... ./cmd/ppdbserver/... .
+
+# faults-wal runs the write-ahead-log durability suite (DESIGN.md §14): the
+# WAL crash matrix (every wal.* fault site killed and recovered at 1/2/8
+# shards against a serial oracle), torn-tail and corrupted-record recovery,
+# checkpoint/truncate crashes, replay crashes, and the wal package's own
+# frame/rotation/group-commit tests. Blocking in scripts/ci.sh.
+faults-wal:
+	go test -run 'WAL|Wal|Torn|Replay|Segment|GroupCommit' \
+		./internal/wal/... ./internal/ppdb/... ./cmd/ppdbserver/...
 
 # bench runs the certification benches and records BENCH_certify.json
 # (cold vs incremental ledger certification, plus the per-shard-count

@@ -11,7 +11,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
 	"repro/internal/relational"
+	"repro/internal/wal"
 )
 
 // BenchmarkTable1 regenerates the Sec. 8 worked example (E1).
@@ -336,6 +340,91 @@ func BenchmarkBulkIngestShards(b *testing.B) {
 				}
 				if db.NumProviders() != n {
 					b.Fatal("wrong count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngestDurable measures single-provider upsert throughput with
+// durability on the line: no WAL at all, then a WAL attached at three
+// group-commit batch sizes (Options.SyncEvery). Writers run under
+// b.RunParallel because group commit is a concurrency optimisation — a lone
+// writer pays each fsync (or flusher tick) alone, while GOMAXPROCS writers
+// share one fsync per batch, so the batch>1 modes should close most of the
+// gap to wal=off as parallelism rises. Recorded in BENCH_certify.json by
+// scripts/bench.sh; gated by scripts/benchgate.sh.
+func BenchmarkIngestDurable(b *testing.B) {
+	gen, err := population.NewGenerator(population.Config{
+		Attributes: []population.AttributeSpec{
+			{Name: "weight", Sensitivity: 4, Purposes: []privacy.Purpose{"service"}},
+			{Name: "income", Sensitivity: 5, Purposes: []privacy.Purpose{"service"}},
+		},
+	}, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := population.PrefsOf(gen.Generate(4096))
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("weight", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	hp.Add("income", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	modes := []struct {
+		name      string
+		durable   bool
+		syncEvery int
+	}{
+		{"wal=off", false, 0},
+		{"wal=batch1", true, 1},
+		{"wal=batch16", true, 16},
+		{"wal=batch64", true, 64},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			db, err := ppdb.New(ppdb.Config{Policy: hp, AttrSens: gen.AttributeSensitivities()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.durable {
+				if _, err := db.AttachWAL(wal.Options{
+					Dir:          b.TempDir(),
+					SyncEvery:    m.syncEvery,
+					SyncInterval: 2 * time.Millisecond,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var (
+				next     atomic.Uint64
+				errMu    sync.Mutex
+				firstErr error
+			)
+			// Enough concurrent writers that the batch thresholds actually
+			// trigger early group commits: with only GOMAXPROCS writers,
+			// pending never reaches 64 and every mode just waits out the
+			// flusher tick.
+			b.SetParallelism(32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					p := pop[int(next.Add(1))%len(pop)]
+					if err := db.RegisterProvider(p); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if firstErr != nil {
+				b.Fatal(firstErr)
+			}
+			if m.durable {
+				if err := db.CloseWAL(); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

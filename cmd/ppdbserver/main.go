@@ -20,12 +20,24 @@
 // serial pre-sharding behavior. Certification output is byte-identical for
 // every value.
 //
-// Lifecycle: the listener runs under an http.Server with read/write/idle
-// timeouts; SIGINT/SIGTERM flips /readyz to 503, drains in-flight requests
-// for up to -drain-timeout, writes a final snapshot (when a snapshot
-// directory is configured) and exits cleanly. -snapshot-interval persists
-// the database periodically through ppdb.Save's crash-safe atomic path, so
-// a `ppdbserver -load <dir>` restart always finds a verifiable generation.
+// Lifecycle: the listener binds immediately and serves a bootstrap handler
+// while the store recovers (snapshot load plus WAL replay): /healthz is up,
+// /readyz answers 503 {"status":"recovering"}, everything else is shed with
+// a 503 + Retry-After. The real API swaps in once recovery completes.
+// SIGINT/SIGTERM flips /readyz to 503, drains in-flight requests for up to
+// -drain-timeout, writes a final checkpoint (when a snapshot directory is
+// configured) and exits cleanly. -snapshot-interval checkpoints the
+// database periodically from a background goroutine through ppdb.Save's
+// crash-safe atomic path — skipping when nothing changed since the last
+// checkpoint — so a `ppdbserver -load <dir>` restart always finds a
+// verifiable generation.
+//
+// Durability (DESIGN.md §14): -wal-dir arms a write-ahead log — every
+// provider/policy/clock/sweep mutation is fsync-durable (group commit,
+// tuned by -wal-sync-interval / -wal-sync-every) before the request is
+// acknowledged, and a restart replays the log tail over the newest
+// snapshot, so acknowledged mutations survive a kill -9 between
+// checkpoints. Checkpoints prune replayed WAL segments.
 //
 // Observability (DESIGN.md §10): GET /metrics serves the process metrics
 // (request, ledger, persistence, and the paper's P(W)/P(Default)/N
@@ -54,6 +66,7 @@ import (
 	"repro/internal/policydsl"
 	"repro/internal/ppdb"
 	"repro/internal/relational"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -69,33 +82,13 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it firewalled)")
 	accessLog := flag.Bool("access-log", true, "log one structured key=value line per request")
 	shards := flag.Int("shards", 0, "provider-store/ledger shards and certification fan-out width (0 = one per CPU, 1 = serial)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: mutations are fsync-durable before acknowledgment and replay on restart (empty disables the WAL)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 2*time.Millisecond, "WAL group-commit fsync interval")
+	walSyncEvery := flag.Int("wal-sync-every", 64, "fsync once this many WAL records are pending, even before the interval elapses")
 	flag.Parse()
 
-	var db *ppdb.DB
-	var err error
-	if *load != "" {
-		db, err = ppdb.Load(*load, ppdb.Config{Shards: *shards})
-		if *snapshotDir == "" {
-			*snapshotDir = *load
-		}
-	} else {
-		db, err = build(*corpus, *table, *key, *cols, *shards)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
-		os.Exit(1)
-	}
-	if *snapshotEvery > 0 && *snapshotDir == "" {
+	if *snapshotEvery > 0 && *snapshotDir == "" && *load == "" {
 		fmt.Fprintln(os.Stderr, "ppdbserver: -snapshot-interval needs -snapshot-dir (or -load)")
-		os.Exit(1)
-	}
-	opts := httpapi.Options{}
-	if *accessLog {
-		opts.RequestLog = log.Default()
-	}
-	api, err := httpapi.NewWith(db, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
 	if *pprofAddr != "" {
@@ -113,13 +106,55 @@ func main() {
 			log.Print(kvlog.Line("event", "pprof_server_exit", "err", err))
 		}()
 	}
+
+	// Bind and answer probes immediately; the store recovers behind the
+	// bootstrap handler, which reports "recovering" until the swap.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
 	log.Print(kvlog.Line("event", "listening", "addr", ln.Addr()))
-	if err := serve(ln, api, db, *snapshotDir, *snapshotEvery, *drainTimeout); err != nil {
+	boot := httpapi.NewBootstrap()
+	srv, errc := startServer(ln, boot)
+
+	var db *ppdb.DB
+	if *load != "" {
+		db, err = ppdb.Load(*load, ppdb.Config{Shards: *shards})
+		if *snapshotDir == "" {
+			*snapshotDir = *load
+		}
+	} else {
+		db, err = build(*corpus, *table, *key, *cols, *shards)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
+	if *walDir != "" {
+		n, err := db.AttachWAL(wal.Options{
+			Dir:          *walDir,
+			SyncInterval: *walSyncInterval,
+			SyncEvery:    *walSyncEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppdbserver: wal: %v\n", err)
+			os.Exit(1)
+		}
+		log.Print(kvlog.Line("event", "wal_recovered", "dir", *walDir, "replayed", n))
+	}
+	opts := httpapi.Options{}
+	if *accessLog {
+		opts.RequestLog = log.Default()
+	}
+	api, err := httpapi.NewWith(db, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
+		os.Exit(1)
+	}
+	boot.Set(api)
+	log.Print(kvlog.Line("event", "ready"))
+	if err := run(srv, errc, api, db, *snapshotDir, *snapshotEvery, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "ppdbserver: %v\n", err)
 		os.Exit(1)
 	}
@@ -138,61 +173,103 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-// serve runs the hardened lifecycle on an already-bound listener: an
-// http.Server with conservative timeouts, an optional periodic snapshot
-// loop, and a SIGINT/SIGTERM graceful drain. It returns nil on a clean
-// drained shutdown.
-func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, every, drainTimeout time.Duration) error {
+// startServer wraps a handler in an http.Server with conservative timeouts
+// and starts serving the already-bound listener. The returned channel
+// yields Serve's exit error.
+func startServer(ln net.Listener, h http.Handler) (*http.Server, <-chan error) {
 	srv := &http.Server{
-		Handler:           api,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	errc := make(chan error, 1)
+	//lint:ignore fanout[the serve loop runs for the process lifetime; run() reaps its exit through errc]
+	go func() { errc <- srv.Serve(ln) }()
+	return srv, errc
+}
+
+// serve runs the full lifecycle on an already-bound listener with the API
+// ready from the start (no recovery window). main uses startServer+run
+// directly so the bootstrap handler can answer during recovery.
+func serve(ln net.Listener, api *httpapi.Server, db *ppdb.DB, snapDir string, every, drainTimeout time.Duration) error {
+	srv, errc := startServer(ln, api)
+	return run(srv, errc, api, db, snapDir, every, drainTimeout)
+}
+
+// run is the hardened lifecycle of a serving process: a background
+// checkpoint goroutine (periodic crash-safe snapshots that skip when
+// nothing changed since the last one, and prune replayed WAL segments) and
+// a SIGINT/SIGTERM graceful drain ending in a final checkpoint and WAL
+// close. It returns nil on a clean drained shutdown.
+func run(srv *http.Server, errc <-chan error, api *httpapi.Server, db *ppdb.DB, snapDir string, every, drainTimeout time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
-	var snapC <-chan time.Time
+	// The checkpointer runs off the serve loop so a slow Save never blocks
+	// signal handling; Checkpoint itself serializes concurrent calls and
+	// lets mutations proceed while it renders.
+	var ckptQuit, ckptDone chan struct{}
 	if every > 0 && snapDir != "" {
-		ticker := time.NewTicker(every)
-		defer ticker.Stop()
-		snapC = ticker.C
-	}
-	for {
-		select {
-		case <-snapC:
-			if err := db.Save(snapDir); err != nil {
-				log.Print(kvlog.Line("event", "snapshot_error", "kind", "periodic", "dir", snapDir, "err", err))
-			}
-		case err := <-errc:
-			// The listener died under us (Serve never returns nil, and
-			// nothing else calls Shutdown): surface it.
-			return err
-		case <-ctx.Done():
-			stop() // a second signal now kills the process the default way
-			log.Print(kvlog.Line("event", "shutdown", "drain_timeout", drainTimeout))
-			api.SetReady(false)
-			sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-			defer cancel()
-			err := srv.Shutdown(sctx)
-			if snapDir != "" {
-				if serr := db.Save(snapDir); serr != nil {
-					log.Print(kvlog.Line("event", "snapshot_error", "kind", "final", "dir", snapDir, "err", serr))
-				} else {
-					log.Print(kvlog.Line("event", "snapshot_written", "kind", "final", "dir", snapDir))
+		ckptQuit, ckptDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if wrote, err := db.Checkpoint(snapDir); err != nil {
+						log.Print(kvlog.Line("event", "snapshot_error", "kind", "periodic", "dir", snapDir, "err", err))
+					} else if wrote {
+						log.Print(kvlog.Line("event", "snapshot_written", "kind", "periodic", "dir", snapDir))
+					}
+				case <-ckptQuit:
+					return
 				}
 			}
-			<-errc // reap the Serve goroutine (http.ErrServerClosed)
-			if err != nil {
-				return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
-			}
-			log.Print(kvlog.Line("event", "drained"))
-			return nil
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		// The listener died under us (Serve never returns nil, and
+		// nothing else calls Shutdown): surface it.
+		if ckptQuit != nil {
+			close(ckptQuit)
+			<-ckptDone
 		}
+		return err
+	case <-ctx.Done():
+		stop() // a second signal now kills the process the default way
+		log.Print(kvlog.Line("event", "shutdown", "drain_timeout", drainTimeout))
+		api.SetReady(false)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		if ckptQuit != nil {
+			close(ckptQuit)
+			<-ckptDone
+		}
+		if snapDir != "" {
+			if wrote, serr := db.Checkpoint(snapDir); serr != nil {
+				log.Print(kvlog.Line("event", "snapshot_error", "kind", "final", "dir", snapDir, "err", serr))
+			} else if wrote {
+				log.Print(kvlog.Line("event", "snapshot_written", "kind", "final", "dir", snapDir))
+			}
+		}
+		if db.WALAttached() {
+			if cerr := db.CloseWAL(); cerr != nil {
+				log.Print(kvlog.Line("event", "wal_close_error", "err", cerr))
+			}
+		}
+		<-errc // reap the Serve goroutine (http.ErrServerClosed)
+		if err != nil {
+			return fmt.Errorf("drain incomplete after %s: %w", drainTimeout, err)
+		}
+		log.Print(kvlog.Line("event", "drained"))
+		return nil
 	}
 }
 

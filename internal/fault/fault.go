@@ -22,6 +22,13 @@
 // additionally leave a torn file behind (see ppdb's persist layer), so
 // recovery is exercised against genuine debris rather than a clean
 // absence.
+//
+// Write mutation. Code that persists bytes routes them through
+// WritePoint(site, data) instead of a bare Point: disarmed it is the same
+// single atomic load, but a site armed with ArmShortWrite or ArmFlipByte
+// hands back truncated or byte-flipped data with *no error* — the write
+// "succeeds" and the corruption is only discoverable by the reader's
+// checksums. The WAL's torn-tail tests are built on this mode.
 package fault
 
 import (
@@ -44,6 +51,13 @@ const (
 	// ModeCrash makes Point return an error satisfying IsCrash; the call
 	// site aborts without cleanup, simulating the process dying there.
 	ModeCrash
+	// ModeShortWrite makes WritePoint return only the first N bytes of the
+	// data, with no error — the write "succeeds" but lands truncated, the
+	// debris a power cut leaves behind a pagecache flush.
+	ModeShortWrite
+	// ModeFlipByte makes WritePoint return the data with the byte at an
+	// armed offset inverted — silent media corruption for checksum tests.
+	ModeFlipByte
 )
 
 // ErrInjected is the error ArmError installs when given a nil error.
@@ -64,6 +78,9 @@ func IsCrash(err error) bool {
 type arming struct {
 	mode Mode
 	err  error
+	// keep is the byte count a ModeShortWrite site lets through; offset is
+	// the byte a ModeFlipByte site inverts (clamped to the data length).
+	keep, offset int
 }
 
 var (
@@ -97,7 +114,9 @@ func point(name string) error {
 	}
 	a, ok := armed[name]
 	mu.Unlock()
-	if !ok {
+	if !ok || a.mode == ModeShortWrite || a.mode == ModeFlipByte {
+		// Write-mutation modes act only through WritePoint; a plain Point
+		// at the same site passes clean.
 		return nil
 	}
 	// An armed site fired: count the trip before the failure propagates
@@ -112,6 +131,69 @@ func point(name string) error {
 		return &crashError{site: name}
 	default:
 		return a.err
+	}
+}
+
+// WritePoint is the injection hook for code about to write data somewhere
+// durable. Disarmed it returns the data unchanged and costs one atomic
+// load. Armed, it models the ways a write can go wrong:
+//
+//   - ModeError: the data is returned unchanged with the armed error; the
+//     caller should fail without writing.
+//   - ModePanic: panics, as Point does.
+//   - ModeCrash: returns the first half of the data plus an IsCrash error;
+//     the caller writes that torn prefix and then aborts without cleanup,
+//     leaving the debris a real mid-write crash would.
+//   - ModeShortWrite: returns only the armed byte count, with no error —
+//     the write silently lands truncated.
+//   - ModeFlipByte: returns a copy with one byte inverted, no error —
+//     silent corruption for checksum-verification tests.
+func WritePoint(name string, data []byte) ([]byte, error) {
+	if active.Load() == 0 {
+		return data, nil
+	}
+	mu.Lock()
+	if tracing && !seen[name] {
+		seen[name] = true
+		trace = append(trace, name)
+	}
+	a, ok := armed[name]
+	mu.Unlock()
+	if !ok {
+		return data, nil
+	}
+	metrics.Default.Counter("fault_trips_total",
+		"armed fault-injection sites tripped", "site", name).Inc()
+	switch a.mode {
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case ModeCrash:
+		return data[:len(data)/2], &crashError{site: name}
+	case ModeShortWrite:
+		keep := a.keep
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(data) {
+			keep = len(data)
+		}
+		return data[:keep], nil
+	case ModeFlipByte:
+		if len(data) == 0 {
+			return data, nil
+		}
+		off := a.offset
+		if off < 0 {
+			off = 0
+		}
+		if off >= len(data) {
+			off = len(data) - 1
+		}
+		out := append([]byte(nil), data...)
+		out[off] ^= 0xFF
+		return out, nil
+	default:
+		return data, a.err
 	}
 }
 
@@ -137,6 +219,18 @@ func ArmPanic(name string) { arm(name, arming{mode: ModePanic}) }
 
 // ArmCrash makes Point(name) return a simulated-crash error (IsCrash).
 func ArmCrash(name string) { arm(name, arming{mode: ModeCrash}) }
+
+// ArmShortWrite makes WritePoint(name) pass through only the first keep
+// bytes, with no error — a silently truncated write.
+func ArmShortWrite(name string, keep int) {
+	arm(name, arming{mode: ModeShortWrite, keep: keep})
+}
+
+// ArmFlipByte makes WritePoint(name) invert the byte at offset (clamped to
+// the data) — silent single-byte corruption.
+func ArmFlipByte(name string, offset int) {
+	arm(name, arming{mode: ModeFlipByte, offset: offset})
+}
 
 // Disarm removes the arming for one site; unknown names are a no-op.
 func Disarm(name string) {

@@ -71,6 +71,119 @@ func TestFaultArmCrash(t *testing.T) {
 	}
 }
 
+func TestFaultWritePointDisarmed(t *testing.T) {
+	defer Reset()
+	data := []byte("twelve bytes")
+	got, err := WritePoint("never.armed", data)
+	if err != nil {
+		t.Fatalf("disarmed WritePoint returned %v", err)
+	}
+	if &got[0] != &data[0] || string(got) != string(data) {
+		t.Error("disarmed WritePoint must hand back the original bytes untouched")
+	}
+}
+
+func TestFaultWritePointShortWrite(t *testing.T) {
+	defer Reset()
+	data := []byte("0123456789")
+	ArmShortWrite("w.short", 4)
+	got, err := WritePoint("w.short", data)
+	if err != nil {
+		t.Fatalf("short write returned an error: %v", err)
+	}
+	if string(got) != "0123" {
+		t.Errorf("short write kept %q, want %q", got, "0123")
+	}
+	// Clamping: keep beyond the data length passes everything, negative
+	// keeps nothing.
+	ArmShortWrite("w.short", 99)
+	if got, _ := WritePoint("w.short", data); string(got) != string(data) {
+		t.Errorf("over-length keep = %q", got)
+	}
+	ArmShortWrite("w.short", -3)
+	if got, _ := WritePoint("w.short", data); len(got) != 0 {
+		t.Errorf("negative keep = %q, want empty", got)
+	}
+}
+
+func TestFaultWritePointFlipByte(t *testing.T) {
+	defer Reset()
+	data := []byte{0x00, 0x11, 0x22, 0x33}
+	ArmFlipByte("w.flip", 2)
+	got, err := WritePoint("w.flip", data)
+	if err != nil {
+		t.Fatalf("flip byte returned an error: %v", err)
+	}
+	if got[2] != 0x22^0xFF {
+		t.Errorf("byte 2 = %#x, want %#x", got[2], 0x22^0xFF)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if got[i] != data[i] {
+			t.Errorf("byte %d disturbed: %#x", i, got[i])
+		}
+	}
+	if data[2] != 0x22 {
+		t.Error("flip mutated the caller's buffer instead of a copy")
+	}
+	// Out-of-range offsets clamp to the last byte; empty data passes.
+	ArmFlipByte("w.flip", 99)
+	if got, _ := WritePoint("w.flip", data); got[3] != 0x33^0xFF {
+		t.Errorf("clamped flip = %#x", got[3])
+	}
+	if got, _ := WritePoint("w.flip", nil); len(got) != 0 {
+		t.Errorf("flip on empty data = %v", got)
+	}
+}
+
+func TestFaultWritePointErrorAndCrash(t *testing.T) {
+	defer Reset()
+	data := []byte("abcdefgh")
+	custom := errors.New("disk says no")
+	ArmError("w.e", custom)
+	got, err := WritePoint("w.e", data)
+	if !errors.Is(err, custom) {
+		t.Errorf("error arm = %v", err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("error arm mutated data to %q", got)
+	}
+	ArmCrash("w.c")
+	got, err = WritePoint("w.c", data)
+	if !IsCrash(err) {
+		t.Fatalf("crash arm = %v, want IsCrash", err)
+	}
+	if string(got) != "abcd" {
+		t.Errorf("crash arm tore to %q, want the first half", got)
+	}
+}
+
+// TestFaultWriteModesInvisibleToPoint: a site armed with a write-mutation
+// mode must not fail a plain Point at the same name — the mutation acts
+// only on the bytes.
+func TestFaultWriteModesInvisibleToPoint(t *testing.T) {
+	defer Reset()
+	ArmShortWrite("w.mix", 1)
+	if err := Point("w.mix"); err != nil {
+		t.Errorf("Point on short-write site = %v", err)
+	}
+	ArmFlipByte("w.mix", 0)
+	if err := Point("w.mix"); err != nil {
+		t.Errorf("Point on flip-byte site = %v", err)
+	}
+}
+
+func TestFaultWritePointTraced(t *testing.T) {
+	defer Reset()
+	StartTrace()
+	if _, err := WritePoint("w.traced", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := StopTrace()
+	if len(got) != 1 || got[0] != "w.traced" {
+		t.Errorf("trace = %v, want [w.traced]", got)
+	}
+}
+
 func TestFaultTrace(t *testing.T) {
 	defer Reset()
 	StartTrace()

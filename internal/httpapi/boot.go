@@ -1,0 +1,50 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+)
+
+// Bootstrap is the handler a server mounts the moment its listener binds,
+// before the database has finished recovering (snapshot load plus WAL
+// replay — see DESIGN.md §14). It answers the probes honestly during that
+// window — the process is alive (/healthz 200) but not ready (/readyz 503
+// {"status":"recovering"}) — and sheds every other request with an
+// envelope 503 + Retry-After. Once recovery completes, Set swaps in the
+// real handler and Bootstrap becomes a transparent passthrough.
+//
+// The swap is an atomic pointer load per request; requests racing the swap
+// get either answer, both correct for their instant.
+type Bootstrap struct {
+	h atomic.Value // bootHolder
+}
+
+// bootHolder keeps the atomic.Value's concrete type fixed regardless of
+// what handler implementation Set receives.
+type bootHolder struct{ h http.Handler }
+
+// NewBootstrap returns a Bootstrap in the recovering state.
+func NewBootstrap() *Bootstrap { return &Bootstrap{} }
+
+// Set installs the recovered handler; every subsequent request goes to it.
+func (b *Bootstrap) Set(h http.Handler) { b.h.Store(bootHolder{h: h}) }
+
+// ServeHTTP answers for the recovering server, or delegates once Set ran.
+func (b *Bootstrap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if v := b.h.Load(); v != nil {
+		v.(bootHolder).h.ServeHTTP(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/v1/healthz", "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case "/v1/readyz", "/readyz":
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErrDetail(w, http.StatusServiceUnavailable,
+			errors.New("server is recovering"),
+			"the store is replaying its write-ahead log; retry shortly")
+	}
+}

@@ -1,0 +1,64 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBootstrapRecovering pins the pre-swap surface: liveness up,
+// readiness down with the "recovering" verdict, everything else shed with
+// the envelope 503 and a Retry-After.
+func TestBootstrapRecovering(t *testing.T) {
+	b := NewBootstrap()
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		if rec := get(path); rec.Code != http.StatusOK {
+			t.Errorf("%s = %d during recovery, want 200", path, rec.Code)
+		}
+	}
+	for _, path := range []string{"/v1/readyz", "/readyz"} {
+		rec := get(path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s = %d during recovery, want 503", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), "recovering") {
+			t.Errorf("%s body = %s, want a recovering verdict", path, rec.Body)
+		}
+	}
+	rec := get("/v1/certify")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/v1/certify = %d during recovery, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed response has no Retry-After")
+	}
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("shed response is not the error envelope: %v", err)
+	}
+	if !strings.Contains(body.Error.Message, "recovering") {
+		t.Errorf("shed message = %q", body.Error.Message)
+	}
+}
+
+// TestBootstrapSwap: after Set, every request reaches the real handler.
+func TestBootstrapSwap(t *testing.T) {
+	b := NewBootstrap()
+	b.Set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	for _, path := range []string{"/v1/certify", "/v1/readyz", "/v1/healthz"} {
+		rec := httptest.NewRecorder()
+		b.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusTeapot {
+			t.Errorf("%s = %d after swap, want the delegate's 418", path, rec.Code)
+		}
+	}
+}

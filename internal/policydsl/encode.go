@@ -172,65 +172,134 @@ func tupleFromJSON(j TupleJSON) privacy.Tuple {
 	}
 }
 
+// PolicyToJSON converts a house policy (plus the house Σ vector, which may
+// be nil) to interchange form. Exported for the persistence layers — the
+// snapshot corpus and the WAL's policy records share this codec.
+func PolicyToJSON(hp *privacy.HousePolicy, sens privacy.AttributeSensitivities) *PolicyJSON {
+	pj := &PolicyJSON{Name: hp.Name, Tuples: map[string][]TupleJSON{}}
+	for _, e := range hp.Entries() {
+		pj.Tuples[e.Attribute] = append(pj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
+	}
+	if len(sens) > 0 {
+		pj.Sens = map[string]float64(sens)
+	}
+	return pj
+}
+
+// PolicyFromJSON rebuilds a house policy (and Σ vector) from interchange
+// form, validated against sc.
+func PolicyFromJSON(pj *PolicyJSON, sc privacy.Scales) (*privacy.HousePolicy, privacy.AttributeSensitivities, error) {
+	hp := privacy.NewHousePolicy(pj.Name)
+	attrs := make([]string, 0, len(pj.Tuples))
+	for a := range pj.Tuples {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		for _, tj := range pj.Tuples[a] {
+			hp.Add(a, tupleFromJSON(tj))
+		}
+	}
+	sens := privacy.AttributeSensitivities{}
+	for a, v := range pj.Sens {
+		sens.Set(a, v)
+	}
+	if err := hp.Validate(sc); err != nil {
+		return nil, nil, err
+	}
+	return hp, sens, nil
+}
+
+// ProviderToJSON converts one provider's preferences to interchange form.
+func ProviderToJSON(prov *privacy.Prefs) ProviderJSON {
+	vj := ProviderJSON{
+		Name:      prov.Provider,
+		Threshold: prov.Threshold,
+		Tuples:    map[string][]TupleJSON{},
+		Sens:      map[string][]SensJSON{},
+	}
+	for _, e := range prov.Entries() {
+		vj.Tuples[e.Attribute] = append(vj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
+	}
+	for _, attr := range providerAttrs(prov) {
+		if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
+			vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
+				Value: s.Value, Visibility: s.Visibility,
+				Granularity: s.Granularity, Retention: s.Retention,
+			})
+		}
+		def := prov.Sensitivity(attr, "")
+		purposes := map[privacy.Purpose]bool{}
+		for _, e := range prov.ForAttribute(attr) {
+			purposes[e.Tuple.Purpose] = true
+		}
+		for _, k := range prov.SensitivityKeys() {
+			if k.Attribute == attr && k.Purpose != "" {
+				purposes[k.Purpose] = true
+			}
+		}
+		prs := make([]string, 0, len(purposes))
+		for pr := range purposes {
+			prs = append(prs, string(pr))
+		}
+		sort.Strings(prs)
+		for _, pr := range prs {
+			if s := prov.Sensitivity(attr, privacy.Purpose(pr)); s != def {
+				vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
+					Purpose: pr,
+					Value:   s.Value, Visibility: s.Visibility,
+					Granularity: s.Granularity, Retention: s.Retention,
+				})
+			}
+		}
+	}
+	if len(vj.Sens) == 0 {
+		vj.Sens = nil
+	}
+	return vj
+}
+
+// ProviderFromJSON rebuilds one provider's preferences from interchange
+// form, validated against sc.
+func ProviderFromJSON(pj ProviderJSON, sc privacy.Scales) (*privacy.Prefs, error) {
+	prov := privacy.NewPrefs(pj.Name, pj.Threshold)
+	attrs := make([]string, 0, len(pj.Tuples))
+	for a := range pj.Tuples {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		for _, tj := range pj.Tuples[a] {
+			prov.Add(a, tupleFromJSON(tj))
+		}
+	}
+	for a, sl := range pj.Sens {
+		for _, sj := range sl {
+			s := privacy.Sensitivity{
+				Value: sj.Value, Visibility: sj.Visibility,
+				Granularity: sj.Granularity, Retention: sj.Retention,
+			}
+			if sj.Purpose == "" {
+				prov.SetSensitivity(a, s)
+			} else {
+				prov.SetPurposeSensitivity(a, privacy.Purpose(sj.Purpose), s)
+			}
+		}
+	}
+	if err := prov.Validate(sc); err != nil {
+		return nil, err
+	}
+	return prov, nil
+}
+
 // MarshalJSON encodes the document.
 func MarshalJSON(doc *Document) ([]byte, error) {
 	out := DocumentJSON{}
 	if doc.Policy != nil {
-		pj := &PolicyJSON{Name: doc.Policy.Name, Tuples: map[string][]TupleJSON{}}
-		for _, e := range doc.Policy.Entries() {
-			pj.Tuples[e.Attribute] = append(pj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
-		}
-		if len(doc.AttrSens) > 0 {
-			pj.Sens = map[string]float64(doc.AttrSens)
-		}
-		out.Policy = pj
+		out.Policy = PolicyToJSON(doc.Policy, doc.AttrSens)
 	}
 	for _, prov := range doc.Providers {
-		vj := ProviderJSON{
-			Name:      prov.Provider,
-			Threshold: prov.Threshold,
-			Tuples:    map[string][]TupleJSON{},
-			Sens:      map[string][]SensJSON{},
-		}
-		for _, e := range prov.Entries() {
-			vj.Tuples[e.Attribute] = append(vj.Tuples[e.Attribute], tupleToJSON(e.Tuple))
-		}
-		for _, attr := range providerAttrs(prov) {
-			if s := prov.Sensitivity(attr, ""); s != privacy.UnitSensitivity {
-				vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
-					Value: s.Value, Visibility: s.Visibility,
-					Granularity: s.Granularity, Retention: s.Retention,
-				})
-			}
-			def := prov.Sensitivity(attr, "")
-			purposes := map[privacy.Purpose]bool{}
-			for _, e := range prov.ForAttribute(attr) {
-				purposes[e.Tuple.Purpose] = true
-			}
-			for _, k := range prov.SensitivityKeys() {
-				if k.Attribute == attr && k.Purpose != "" {
-					purposes[k.Purpose] = true
-				}
-			}
-			prs := make([]string, 0, len(purposes))
-			for pr := range purposes {
-				prs = append(prs, string(pr))
-			}
-			sort.Strings(prs)
-			for _, pr := range prs {
-				if s := prov.Sensitivity(attr, privacy.Purpose(pr)); s != def {
-					vj.Sens[attr] = append(vj.Sens[attr], SensJSON{
-						Purpose: pr,
-						Value:   s.Value, Visibility: s.Visibility,
-						Granularity: s.Granularity, Retention: s.Retention,
-					})
-				}
-			}
-		}
-		if len(vj.Sens) == 0 {
-			vj.Sens = nil
-		}
-		out.Providers = append(out.Providers, vj)
+		out.Providers = append(out.Providers, ProviderToJSON(prov))
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
@@ -244,51 +313,16 @@ func UnmarshalJSON(data []byte) (*Document, error) {
 	}
 	doc := &Document{Scales: privacy.DefaultScales(), AttrSens: privacy.AttributeSensitivities{}}
 	if in.Policy != nil {
-		hp := privacy.NewHousePolicy(in.Policy.Name)
-		attrs := make([]string, 0, len(in.Policy.Tuples))
-		for a := range in.Policy.Tuples {
-			attrs = append(attrs, a)
-		}
-		sort.Strings(attrs)
-		for _, a := range attrs {
-			for _, tj := range in.Policy.Tuples[a] {
-				hp.Add(a, tupleFromJSON(tj))
-			}
-		}
-		for a, v := range in.Policy.Sens {
-			doc.AttrSens.Set(a, v)
-		}
-		if err := hp.Validate(doc.Scales); err != nil {
+		hp, sens, err := PolicyFromJSON(in.Policy, doc.Scales)
+		if err != nil {
 			return nil, err
 		}
 		doc.Policy = hp
+		doc.AttrSens = sens
 	}
 	for _, pj := range in.Providers {
-		prov := privacy.NewPrefs(pj.Name, pj.Threshold)
-		attrs := make([]string, 0, len(pj.Tuples))
-		for a := range pj.Tuples {
-			attrs = append(attrs, a)
-		}
-		sort.Strings(attrs)
-		for _, a := range attrs {
-			for _, tj := range pj.Tuples[a] {
-				prov.Add(a, tupleFromJSON(tj))
-			}
-		}
-		for a, sl := range pj.Sens {
-			for _, sj := range sl {
-				s := privacy.Sensitivity{
-					Value: sj.Value, Visibility: sj.Visibility,
-					Granularity: sj.Granularity, Retention: sj.Retention,
-				}
-				if sj.Purpose == "" {
-					prov.SetSensitivity(a, s)
-				} else {
-					prov.SetPurposeSensitivity(a, privacy.Purpose(sj.Purpose), s)
-				}
-			}
-		}
-		if err := prov.Validate(doc.Scales); err != nil {
+		prov, err := ProviderFromJSON(pj, doc.Scales)
+		if err != nil {
 			return nil, err
 		}
 		doc.Providers = append(doc.Providers, prov)

@@ -236,7 +236,11 @@ func (d *DB) EnforceDefaults() ([]string, int, error) {
 	}
 	rows := 0
 	for _, name := range cert.WouldDefault {
-		rows += d.RemoveProvider(name)
+		n, err := d.RemoveProvider(name)
+		if err != nil {
+			return cert.WouldDefault, rows, err
+		}
+		rows += n
 	}
 	return cert.WouldDefault, rows, nil
 }

@@ -123,7 +123,9 @@ func TestLedgerCertifyEquivalence(t *testing.T) {
 			// Removals.
 			for i, p := range pop {
 				if i%17 == 0 {
-					db.RemoveProvider(p.Provider)
+					if _, err := db.RemoveProvider(p.Provider); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			requireCertEquiv(t, db, 0.25, "after removals")

@@ -71,7 +71,9 @@ func TestPopulationGauges(t *testing.T) {
 		t.Errorf("gauges (%g, %g) diverge from summary (%g, %g)",
 			mPW.Value(), mPDefault.Value(), sum.PW, sum.PDefault)
 	}
-	db.RemoveProvider("bob")
+	if _, err := db.RemoveProvider("bob"); err != nil {
+		t.Fatal(err)
+	}
 	sum, err = db.CertifySummary(0.5)
 	if err != nil {
 		t.Fatal(err)

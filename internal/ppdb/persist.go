@@ -66,8 +66,13 @@ var (
 // "persist.rename.prev", "persist.rename.live", "persist.sync.parent");
 // the crash-matrix test arms each in turn and proves recovery.
 
-// FormatVersion is the snapshot format Save writes and Load accepts.
-const FormatVersion = 1
+// FormatVersion is the snapshot format Save writes. Version 2 added the
+// manifest's walLSN checkpoint field; Load also accepts version 1
+// (walLSN 0 — the whole WAL replays over it).
+const FormatVersion = 2
+
+// minFormatVersion is the oldest snapshot format Load accepts.
+const minFormatVersion = 1
 
 const (
 	manifestName = "MANIFEST.json"
@@ -79,9 +84,13 @@ const (
 // SHA-256, so Load can prove the generation complete and untorn before
 // trusting any of it.
 type manifestJSON struct {
-	FormatVersion int               `json:"formatVersion"`
-	SavedAt       time.Time         `json:"savedAt"`
-	Files         map[string]string `json:"files"` // rel path → SHA-256 hex
+	FormatVersion int       `json:"formatVersion"`
+	SavedAt       time.Time `json:"savedAt"`
+	// WALLSN is the checkpoint: the highest WAL LSN whose effects this
+	// snapshot is guaranteed to contain. Recovery replays the log from
+	// here. Zero for DBs saved without an attached WAL.
+	WALLSN uint64            `json:"walLSN,omitempty"`
+	Files  map[string]string `json:"files"` // rel path → SHA-256 hex
 }
 
 // stateJSON is the serialized registry.
@@ -100,20 +109,39 @@ type tableJSON struct {
 //
 //lint:deterministic snapshot bytes must be identical across runs and shard counts
 func (d *DB) Save(dir string) error {
+	_, err := d.save(dir)
+	return err
+}
+
+// save is Save returning the WAL checkpoint LSN it recorded in the
+// manifest (0 with no WAL attached) — Checkpoint uses it to decide how far
+// the log can be truncated.
+//
+// The recorded LSN is read *before* the state is rendered: any mutation
+// with LSN ≤ it completed its apply (append and apply share a critical
+// section) before rendering began, so its effects are in the snapshot;
+// mutations racing the render have higher LSNs and are replayed over the
+// snapshot on recovery — harmlessly, because every WAL record is
+// idempotent.
+func (d *DB) save(dir string) (uint64, error) {
 	//lint:ignore determinism[wall-clock start feeds only the save-duration metric, never snapshot bytes]
 	start := time.Now()
 	d.mu.RLock()
+	var lsn uint64
+	if d.wal != nil {
+		lsn = d.wal.LastLSN()
+	}
 	artifacts, savedAt, err := d.renderLocked()
 	d.mu.RUnlock()
 	if err == nil {
-		err = writeSnapshot(dir, artifacts, savedAt)
+		err = writeSnapshot(dir, artifacts, savedAt, lsn)
 	}
 	if err != nil {
 		mSaveErrors.Inc()
-		return err
+		return 0, err
 	}
 	mSaveSeconds.Observe(time.Since(start).Seconds())
-	return nil
+	return lsn, nil
 }
 
 // renderLocked serializes the full state into artifact bytes keyed by
@@ -219,7 +247,7 @@ func (d *DB) renderLocked() (map[string][]byte, time.Time, error) {
 // then rotates generations: <dir> → <dir>.prev, <dir>.tmp → <dir>. A
 // simulated crash (fault.IsCrash) aborts with zero cleanup so tests see
 // exactly the debris a real crash would leave.
-func writeSnapshot(dir string, artifacts map[string][]byte, savedAt time.Time) (err error) {
+func writeSnapshot(dir string, artifacts map[string][]byte, savedAt time.Time, walLSN uint64) (err error) {
 	tmp, prev := dir+tmpSuffix, dir+prevSuffix
 	if err := os.RemoveAll(tmp); err != nil {
 		return fmt.Errorf("ppdb: save: clear staging: %w", err)
@@ -236,7 +264,7 @@ func writeSnapshot(dir string, artifacts map[string][]byte, savedAt time.Time) (
 		return fmt.Errorf("ppdb: save: stage: %w", err)
 	}
 
-	man := manifestJSON{FormatVersion: FormatVersion, SavedAt: savedAt, Files: map[string]string{}}
+	man := manifestJSON{FormatVersion: FormatVersion, SavedAt: savedAt, WALLSN: walLSN, Files: map[string]string{}}
 	rels := make([]string, 0, len(artifacts))
 	for rel := range artifacts {
 		rels = append(rels, rel)
@@ -294,17 +322,20 @@ func writeSnapshot(dir string, artifacts map[string][]byte, savedAt time.Time) (
 	return syncDirs(filepath.Dir(dir))
 }
 
-// writeArtifact writes one staged file and fsyncs it. A simulated crash at
-// the site leaves a torn file — half the bytes — so recovery is tested
-// against real debris.
+// writeArtifact writes one staged file and fsyncs it. The bytes pass
+// through a fault.WritePoint: a simulated crash at the site leaves a torn
+// file — half the bytes — and a short-write/flip-byte arming lands
+// silently corrupted data, so recovery and manifest verification are
+// tested against real debris.
 func writeArtifact(root, rel string, data []byte) error {
 	path := filepath.Join(root, rel)
-	if err := fault.Point("persist.write." + rel); err != nil {
-		if fault.IsCrash(err) {
+	data, ferr := fault.WritePoint("persist.write."+rel, data)
+	if ferr != nil {
+		if fault.IsCrash(ferr) {
 			//lint:ignore errflow simulating a torn write; the crash error is what propagates
-			os.WriteFile(path, data[:len(data)/2], 0o644)
+			os.WriteFile(path, data, 0o644)
 		}
-		return err
+		return ferr
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -373,23 +404,24 @@ func Load(dir string, cfg Config) (*DB, error) {
 }
 
 // verifySnapshot reads the manifest and every artifact it lists, checking
-// format version and SHA-256s. It returns the verified artifact bytes, so
-// the loader only ever parses content the manifest vouches for.
-func verifySnapshot(dir string) (map[string][]byte, error) {
+// format version and SHA-256s. It returns the verified artifact bytes (so
+// the loader only ever parses content the manifest vouches for) plus the
+// manifest itself, whose walLSN anchors WAL replay.
+func verifySnapshot(dir string) (map[string][]byte, manifestJSON, error) {
+	var man manifestJSON
 	manBytes, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, fmt.Errorf("ppdb: load %s: no readable manifest (torn, pre-manifest, or not a snapshot): %w", dir, err)
+		return nil, man, fmt.Errorf("ppdb: load %s: no readable manifest (torn, pre-manifest, or not a snapshot): %w", dir, err)
 	}
-	var man manifestJSON
 	if err := json.Unmarshal(manBytes, &man); err != nil {
-		return nil, fmt.Errorf("ppdb: load %s: corrupt manifest: %w", dir, err)
+		return nil, man, fmt.Errorf("ppdb: load %s: corrupt manifest: %w", dir, err)
 	}
-	if man.FormatVersion != FormatVersion {
-		return nil, fmt.Errorf("ppdb: load %s: snapshot format %d, this build reads format %d", dir, man.FormatVersion, FormatVersion)
+	if man.FormatVersion < minFormatVersion || man.FormatVersion > FormatVersion {
+		return nil, man, fmt.Errorf("ppdb: load %s: snapshot format %d, this build reads formats %d-%d", dir, man.FormatVersion, minFormatVersion, FormatVersion)
 	}
 	for _, required := range []string{"corpus.dsl", "state.json"} {
 		if _, ok := man.Files[required]; !ok {
-			return nil, fmt.Errorf("ppdb: load %s: manifest lists no %s", dir, required)
+			return nil, man, fmt.Errorf("ppdb: load %s: manifest lists no %s", dir, required)
 		}
 	}
 	arts := make(map[string][]byte, len(man.Files))
@@ -401,20 +433,20 @@ func verifySnapshot(dir string) (map[string][]byte, error) {
 	for _, rel := range rels {
 		data, err := os.ReadFile(filepath.Join(dir, rel))
 		if err != nil {
-			return nil, fmt.Errorf("ppdb: load %s: artifact %s listed in manifest is unreadable: %w", dir, rel, err)
+			return nil, man, fmt.Errorf("ppdb: load %s: artifact %s listed in manifest is unreadable: %w", dir, rel, err)
 		}
 		sum := sha256.Sum256(data)
 		if got := hex.EncodeToString(sum[:]); got != man.Files[rel] {
-			return nil, fmt.Errorf("ppdb: load %s: artifact %s is torn or corrupted (sha256 %s, manifest says %s)", dir, rel, got, man.Files[rel])
+			return nil, man, fmt.Errorf("ppdb: load %s: artifact %s is torn or corrupted (sha256 %s, manifest says %s)", dir, rel, got, man.Files[rel])
 		}
 		arts[rel] = data
 	}
-	return arts, nil
+	return arts, man, nil
 }
 
 // loadSnapshot verifies and parses one generation.
 func loadSnapshot(dir string, cfg Config) (*DB, error) {
-	arts, err := verifySnapshot(dir)
+	arts, man, err := verifySnapshot(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -525,5 +557,8 @@ func loadSnapshot(dir string, cfg Config) (*DB, error) {
 			db.mu.Unlock()
 		}
 	}
+	// Remember the snapshot's WAL high-water mark: AttachWAL replays only
+	// records after it.
+	db.loadedLSN = man.WALLSN
 	return db, nil
 }

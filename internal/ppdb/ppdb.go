@@ -33,8 +33,10 @@ import (
 	"repro/internal/generalize"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/policydsl"
 	"repro/internal/privacy"
 	"repro/internal/relational"
+	"repro/internal/wal"
 )
 
 // Instrumentation (DESIGN.md §10): the paper's headline population
@@ -116,9 +118,13 @@ type dbShard struct {
 // DB is the privacy-preserving database.
 //
 // The whole-program lock order (enforced by ppdblint's lockorder checker
-// over the static call graph) is:
+// over the static call graph) is declared below. The WAL's mutex is
+// innermost — mutations append while holding their serializing lock
+// (shard lock or d.mu), and the log acquires nothing:
 //
 //lint:lockorder ppdb.DB < ppdb.dbShard < ledger.Ledger < ledger.shard
+//lint:lockorder ppdb.dbShard < wal.Log
+//lint:lockorder ledger.shard < wal.Log
 type DB struct {
 	// mu guards the cross-shard state below (policy, tables, clock,
 	// logs, assessor, ledger pointer, policyVersion). Shard-local provider
@@ -162,6 +168,23 @@ type DB struct {
 	// policyVersion counts SetPolicy transitions; together with the
 	// shards' prefsVersion counters it keys the ledger's memoized rows.
 	policyVersion uint64
+
+	// wal is the attached write-ahead log (nil until AttachWAL, and for
+	// DBs that never attach one). Guarded by mu; the Log itself is
+	// self-locking and innermost in the lock order.
+	wal *wal.Log
+	// loadedLSN is the WAL checkpoint LSN recorded in the snapshot this DB
+	// was loaded from (0 for a fresh DB): replay starts past it.
+	loadedLSN uint64
+	// mutSeq counts every mutation (WAL-logged or not); savedSeq is the
+	// mutSeq value captured by the last completed save. Checkpoint compares
+	// them to skip rewriting identical snapshots on idle servers.
+	mutSeq, savedSeq atomic.Uint64
+	// ckptMu serializes checkpoints and guards lastCkptLSN, the LSN the
+	// newest checkpoint recorded (WAL truncation keeps everything back to
+	// the checkpoint before it).
+	ckptMu      sync.Mutex
+	lastCkptLSN uint64
 }
 
 // PolicyChange records one policy version transition for the audit trail
@@ -303,15 +326,24 @@ func (d *DB) Now() time.Time {
 }
 
 // Advance moves the simulated clock forward and returns the new time.
-// Negative durations are rejected.
+// Negative durations are rejected. The WAL record carries the absolute
+// post-advance clock — sweeps derive expirations from the clock, so replay
+// must land on identical instants whatever clock the snapshot started at.
 func (d *DB) Advance(by time.Duration) (time.Time, error) {
 	if by < 0 {
 		return time.Time{}, fmt.Errorf("ppdb: cannot advance clock by negative duration %s", by)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.now = d.now.Add(by)
-	return d.now, nil
+	next := d.now.Add(by)
+	lsn, err := d.walAppendLocked(walRecClock, walClockJSON{Now: next})
+	if err != nil {
+		d.mu.Unlock()
+		return time.Time{}, err
+	}
+	d.now = next
+	d.mu.Unlock()
+	d.mutSeq.Add(1)
+	return next, d.walWait(lsn)
 }
 
 // Policy returns the current house policy.
@@ -354,6 +386,7 @@ func (d *DB) RegisterTable(name string, schema *relational.Schema, providerCol s
 		providerCol: providerCol,
 		rows:        make(map[relational.RowID]*rowMeta),
 	}
+	d.mutSeq.Add(1)
 	return nil
 }
 
@@ -370,10 +403,13 @@ func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 		return err
 	}
 	d.mu.RLock()
-	d.registerShared(p)
+	lsn, err := d.registerShared(p)
 	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
 	d.publishGauges()
-	return nil
+	return d.walWait(lsn)
 }
 
 // registerShared stores validated preferences under the owning shard's
@@ -381,12 +417,21 @@ func (d *DB) RegisterProvider(p *privacy.Prefs) error {
 // preferences are compiled into columnar form once, outside the shard
 // lock, and the same columns are shared with the ledger so its delta
 // re-assessment runs the kernel too. The caller holds d.mu at least shared
-// (so the policy cannot swap mid-write).
-func (d *DB) registerShared(p *privacy.Prefs) {
+// (so the policy cannot swap mid-write). The WAL record is appended inside
+// the shard critical section — WAL order equals apply order — and the
+// returned LSN is handed back so the caller can commit-wait after the
+// locks release.
+func (d *DB) registerShared(p *privacy.Prefs) (uint64, error) {
 	key := strings.ToLower(p.Provider)
 	c := d.assessor.Compile(p)
+	rec := policydsl.ProviderToJSON(p)
 	s := d.shardOf(key)
 	s.mu.Lock()
+	lsn, err := d.walAppendLocked(walRecUpsert, rec)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
 	_, existed := s.providers[key]
 	s.prefsVersion++
 	if c != nil {
@@ -406,6 +451,8 @@ func (d *DB) registerShared(p *privacy.Prefs) {
 	if !existed {
 		d.nProviders.Add(1)
 	}
+	d.mutSeq.Add(1)
+	return lsn, nil
 }
 
 // RegisterProviders records a batch of providers atomically: every
@@ -422,7 +469,16 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 			return err
 		}
 	}
+	recs := make([]policydsl.ProviderJSON, len(ps))
+	for i, p := range ps {
+		recs[i] = policydsl.ProviderToJSON(p)
+	}
 	d.mu.Lock()
+	lsn, err := d.walAppendLocked(walRecBatch, recs)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	buckets := make([][]*privacy.Prefs, len(d.shards))
 	for _, p := range ps {
 		i := core.ShardIndex(strings.ToLower(p.Provider), len(d.shards))
@@ -466,8 +522,9 @@ func (d *DB) RegisterProviders(ps []*privacy.Prefs) error {
 		d.ledger.UpsertBatch(all)
 	}
 	d.mu.Unlock()
+	d.mutSeq.Add(1)
 	d.publishGauges()
-	return nil
+	return d.walWait(lsn)
 }
 
 // Provider looks up registered preferences.
@@ -629,10 +686,18 @@ func (d *DB) populationShared() []*privacy.Prefs {
 
 // RemoveProvider deletes a provider's preferences and all of their rows —
 // the mechanics of a default (Def. 4): the provider leaves and contributes
-// zero information.
-func (d *DB) RemoveProvider(name string) int {
+// zero information. Returns the number of rows deleted. Tables are visited
+// in sorted name order and rows in ascending ID order, so the mutation
+// sequence is reproducible — WAL replay of a delete must retrace it
+// exactly.
+func (d *DB) RemoveProvider(name string) (int, error) {
 	key := strings.ToLower(name)
 	d.mu.Lock()
+	lsn, err := d.walAppendLocked(walRecDelete, walDeleteJSON{Provider: key})
+	if err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
 	s := d.shardOf(key)
 	s.mu.Lock()
 	_, existed := s.providers[key]
@@ -649,18 +714,30 @@ func (d *DB) RemoveProvider(name string) int {
 		d.ledger.Remove(key)
 	}
 	removed := 0
-	for _, tm := range d.tables {
+	tableNames := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		tableNames = append(tableNames, n)
+	}
+	sort.Strings(tableNames)
+	for _, tn := range tableNames {
+		tm := d.tables[tn]
+		ids := make([]relational.RowID, 0)
 		for id, meta := range tm.rows {
 			if meta.provider == key {
-				tm.table.Delete(id)
-				delete(tm.rows, id)
-				removed++
+				ids = append(ids, id)
 			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			tm.table.Delete(id)
+			delete(tm.rows, id)
+			removed++
 		}
 	}
 	d.mu.Unlock()
+	d.mutSeq.Add(1)
 	d.publishGauges()
-	return removed
+	return removed, d.walWait(lsn)
 }
 
 // Insert stores a row for a registered provider, stamping provenance with
@@ -688,6 +765,9 @@ func (d *DB) Insert(table, provider string, row relational.Row) (relational.RowI
 		return 0, err
 	}
 	tm.rows[id] = &rowMeta{provider: key, inserted: d.now, expired: map[string]bool{}}
+	// Row mutations are not WAL-logged (rows ride snapshots only) but must
+	// still mark the store dirty so periodic checkpoints persist them.
+	d.mutSeq.Add(1)
 	return id, nil
 }
 
@@ -709,17 +789,32 @@ func (d *DB) TableLen(table string) int {
 // swap triggers one cold rebuild, one goroutine per shard; the fallback
 // path recomputes both sides over the sorted population in parallel.
 func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
-	if next == nil {
-		return PolicyChange{}, fmt.Errorf("ppdb: nil policy")
-	}
-	if err := next.Validate(d.scales); err != nil {
+	change, lsn, err := d.setPolicyExclusive(next)
+	if err != nil {
 		return PolicyChange{}, err
 	}
+	return change, d.walWait(lsn)
+}
+
+// setPolicyExclusive validates, WAL-logs, and applies a policy swap under
+// d.mu, returning the record's LSN for the caller's commit-wait.
+func (d *DB) setPolicyExclusive(next *privacy.HousePolicy) (PolicyChange, uint64, error) {
+	if next == nil {
+		return PolicyChange{}, 0, fmt.Errorf("ppdb: nil policy")
+	}
+	if err := next.Validate(d.scales); err != nil {
+		return PolicyChange{}, 0, err
+	}
+	rec := policydsl.PolicyToJSON(next, nil)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	after, err := core.NewAssessor(next, d.attrSens, d.opts)
 	if err != nil {
-		return PolicyChange{}, err
+		return PolicyChange{}, 0, err
+	}
+	lsn, err := d.walAppendLocked(walRecPolicy, rec)
+	if err != nil {
+		return PolicyChange{}, 0, err
 	}
 	change := PolicyChange{
 		At:   d.now,
@@ -746,8 +841,9 @@ func (d *DB) SetPolicy(next *privacy.HousePolicy) (PolicyChange, error) {
 	d.assessor = after
 	d.policy = next
 	d.policyLog = append(d.policyLog, change)
+	d.mutSeq.Add(1)
 	d.publishGauges()
-	return change, nil
+	return change, lsn, nil
 }
 
 // recompileShardsLocked recompiles every provider's tuple columns against

@@ -420,14 +420,14 @@ func TestSweepCellwiseExpiry(t *testing.T) {
 
 func TestRemoveProvider(t *testing.T) {
 	db := clinicDB(t)
-	if n := db.RemoveProvider("alice"); n != 1 {
-		t.Errorf("removed %d rows", n)
+	if n, err := db.RemoveProvider("alice"); err != nil || n != 1 {
+		t.Errorf("removed %d rows (err %v)", n, err)
 	}
 	if db.TableLen("patients") != 1 {
 		t.Error("alice's row should be gone")
 	}
-	if n := db.RemoveProvider("nobody"); n != 0 {
-		t.Errorf("removing unknown provider removed %d rows", n)
+	if n, err := db.RemoveProvider("nobody"); err != nil || n != 0 {
+		t.Errorf("removing unknown provider removed %d rows (err %v)", n, err)
 	}
 }
 

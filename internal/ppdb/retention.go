@@ -112,7 +112,25 @@ type rowDecision struct {
 //lint:deterministic the sweep mutation sequence must be reproducible for audit replay
 func (d *DB) Sweep() (SweepReport, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	// The WAL record carries the sweep's clock reading; replay pins the
+	// clock to it before re-sweeping, so the expiry decisions are the
+	// logged ones even if clock records were checkpointed away.
+	lsn, err := d.walAppendLocked(walRecSweep, walSweepJSON{At: d.now})
+	if err != nil {
+		d.mu.Unlock()
+		return SweepReport{}, err
+	}
+	rep, err := d.sweepLocked()
+	d.mu.Unlock()
+	d.mutSeq.Add(1)
+	if err != nil {
+		return rep, err
+	}
+	return rep, d.walWait(lsn)
+}
+
+// sweepLocked is the sweep body; the caller holds d.mu exclusively.
+func (d *DB) sweepLocked() (SweepReport, error) {
 	rep := SweepReport{At: d.now}
 
 	tableNames := make([]string, 0, len(d.tables))

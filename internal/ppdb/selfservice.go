@@ -79,7 +79,11 @@ func (d *DB) UpdateOwnRow(provider, table string, id relational.RowID, row relat
 			return fmt.Errorf("ppdb: cannot reassign row ownership")
 		}
 	}
-	return tm.table.Update(id, row)
+	if err := tm.table.Update(id, row); err != nil {
+		return err
+	}
+	d.mutSeq.Add(1)
+	return nil
 }
 
 // SelfAudit returns the provider's personal violation report against the

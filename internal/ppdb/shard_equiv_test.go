@@ -44,7 +44,9 @@ func buildShardedDB(t *testing.T, seed uint64, shards int) *DB {
 	}
 	for i, p := range pop {
 		if i%17 == 0 {
-			db.RemoveProvider(p.Provider)
+			if _, err := db.RemoveProvider(p.Provider); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if _, err := db.SetPolicy(equivPolicy("v2", 3)); err != nil {

@@ -1,0 +1,283 @@
+package ppdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/policydsl"
+	"repro/internal/privacy"
+	"repro/internal/wal"
+)
+
+// Write-ahead logging (DESIGN.md §14). Every certification-bearing
+// mutation — provider upsert/delete, batch ingest, policy swap, clock
+// advance, retention sweep — appends one record to the WAL *before* it is
+// applied, under the same lock that serializes the apply, so WAL order
+// equals apply order exactly. The durability wait (group commit) happens
+// after the locks release, so concurrent mutations share fsyncs.
+//
+// Replay drives the same public mutation paths the records were logged
+// from, while d.wal is still nil (appends are no-ops until AttachWAL arms
+// them), and every record is idempotent — an upsert re-registers the same
+// preferences, a delete of an absent provider is a no-op, clock records
+// carry absolute times — so a record whose effect already reached the
+// snapshot replays harmlessly.
+//
+// Row-level table mutations (Insert, ImportCSV, UpdateOwnRow) are *not*
+// WAL-logged: rows ride snapshots only, and rows inserted after the last
+// checkpoint are lost on crash. The WAL covers the state certifications
+// are computed from. Row paths still bump mutSeq so checkpoints notice
+// them.
+const (
+	walRecUpsert byte = 1 // one provider registration (policydsl.ProviderJSON)
+	walRecBatch  byte = 2 // atomic batch registration ([]policydsl.ProviderJSON)
+	walRecDelete byte = 3 // provider removal (walDeleteJSON)
+	walRecPolicy byte = 4 // policy swap (policydsl.PolicyJSON)
+	walRecClock  byte = 5 // clock advance, absolute (walClockJSON)
+	walRecSweep  byte = 6 // retention sweep at its clock reading (walSweepJSON)
+)
+
+var mRecoverySeconds = metrics.Default.Histogram("ppdb_recovery_seconds",
+	"duration of store recovery: snapshot load plus WAL tail replay", metrics.DefBuckets)
+
+type walDeleteJSON struct {
+	Provider string `json:"provider"`
+}
+
+// walClockJSON carries the absolute post-advance clock, not the delta:
+// sweeps decide expirations from the clock, so replay must land on the
+// exact same instants regardless of what the snapshot's clock was.
+type walClockJSON struct {
+	Now time.Time `json:"now"`
+}
+
+type walSweepJSON struct {
+	At time.Time `json:"at"`
+}
+
+// walAppendLocked encodes v and appends it as a WAL record. The caller
+// holds the lock that serializes the mutation being logged — the returned
+// LSN's position in the log therefore matches the mutation's position in
+// the apply order. Returns LSN 0 (and no error) when no WAL is attached.
+// On error the caller must abort without applying: a mutation the log
+// rejected would vanish on recovery.
+func (d *DB) walAppendLocked(typ byte, v any) (uint64, error) {
+	if d.wal == nil {
+		return 0, nil
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("ppdb: wal encode record type %d: %w", typ, err)
+	}
+	lsn, err := d.wal.AppendAsync(wal.Record{Type: typ, Data: body})
+	if err != nil {
+		return 0, fmt.Errorf("ppdb: wal append: %w", err)
+	}
+	return lsn, nil
+}
+
+// walWait blocks until lsn is durable — the commit-wait half of group
+// commit, called after every serializing lock has been released. A zero
+// lsn (mutation predates AttachWAL, or WAL disabled) waits on nothing.
+func (d *DB) walWait(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	w := d.wal
+	d.mu.RUnlock()
+	if w == nil {
+		return nil
+	}
+	return w.WaitDurable(lsn)
+}
+
+// AttachWAL opens (or creates) the write-ahead log described by opts,
+// replays every record past the checkpoint this DB was loaded from, and
+// arms all future mutations to append-before-apply. Call exactly once,
+// after New or Load and before the DB serves traffic. Returns the number
+// of records replayed.
+func (d *DB) AttachWAL(opts wal.Options) (int, error) {
+	start := time.Now()
+	d.mu.RLock()
+	attached := d.wal != nil
+	from := d.loadedLSN
+	d.mu.RUnlock()
+	if attached {
+		return 0, fmt.Errorf("ppdb: WAL already attached")
+	}
+	if opts.FirstLSN == 0 {
+		opts.FirstLSN = from + 1
+	}
+	l, err := wal.Open(opts)
+	if err != nil {
+		return 0, err
+	}
+	// A log that ends before the checkpoint can only mean the WAL
+	// directory was lost independently of the snapshot; line the next LSN
+	// up so positional history stays monotone.
+	if err := l.EnsureFloor(from); err != nil {
+		//lint:ignore errflow the floor error is the diagnosis; close is cleanup
+		l.Close()
+		return 0, err
+	}
+	n, err := l.Replay(from, func(lsn uint64, rec wal.Record) error {
+		return d.applyWALRecord(rec)
+	})
+	if err != nil {
+		//lint:ignore errflow the replay error is the diagnosis; close is cleanup
+		l.Close()
+		return n, fmt.Errorf("ppdb: wal replay: %w", err)
+	}
+	d.mu.Lock()
+	d.wal = l
+	d.mu.Unlock()
+	d.ckptMu.Lock()
+	d.lastCkptLSN = from
+	d.ckptMu.Unlock()
+	mRecoverySeconds.Observe(time.Since(start).Seconds())
+	return n, nil
+}
+
+// applyWALRecord replays one record through the public mutation path it
+// was logged from. Runs before AttachWAL publishes d.wal, so the replayed
+// mutations do not re-append.
+//
+//lint:deterministic replaying the same records must rebuild identical state on every run
+func (d *DB) applyWALRecord(rec wal.Record) error {
+	switch rec.Type {
+	case walRecUpsert:
+		var pj policydsl.ProviderJSON
+		if err := json.Unmarshal(rec.Data, &pj); err != nil {
+			return fmt.Errorf("ppdb: wal upsert record: %w", err)
+		}
+		p, err := policydsl.ProviderFromJSON(pj, d.scales)
+		if err != nil {
+			return fmt.Errorf("ppdb: wal upsert record: %w", err)
+		}
+		return d.RegisterProvider(p)
+	case walRecBatch:
+		var pjs []policydsl.ProviderJSON
+		if err := json.Unmarshal(rec.Data, &pjs); err != nil {
+			return fmt.Errorf("ppdb: wal batch record: %w", err)
+		}
+		ps := make([]*privacy.Prefs, 0, len(pjs))
+		for _, pj := range pjs {
+			p, err := policydsl.ProviderFromJSON(pj, d.scales)
+			if err != nil {
+				return fmt.Errorf("ppdb: wal batch record: %w", err)
+			}
+			ps = append(ps, p)
+		}
+		return d.RegisterProviders(ps)
+	case walRecDelete:
+		var dj walDeleteJSON
+		if err := json.Unmarshal(rec.Data, &dj); err != nil {
+			return fmt.Errorf("ppdb: wal delete record: %w", err)
+		}
+		_, err := d.RemoveProvider(dj.Provider)
+		return err
+	case walRecPolicy:
+		var pj policydsl.PolicyJSON
+		if err := json.Unmarshal(rec.Data, &pj); err != nil {
+			return fmt.Errorf("ppdb: wal policy record: %w", err)
+		}
+		hp, _, err := policydsl.PolicyFromJSON(&pj, d.scales)
+		if err != nil {
+			return fmt.Errorf("ppdb: wal policy record: %w", err)
+		}
+		_, err = d.SetPolicy(hp)
+		return err
+	case walRecClock:
+		var cj walClockJSON
+		if err := json.Unmarshal(rec.Data, &cj); err != nil {
+			return fmt.Errorf("ppdb: wal clock record: %w", err)
+		}
+		d.mu.Lock()
+		d.now = cj.Now
+		d.mu.Unlock()
+		return nil
+	case walRecSweep:
+		var sj walSweepJSON
+		if err := json.Unmarshal(rec.Data, &sj); err != nil {
+			return fmt.Errorf("ppdb: wal sweep record: %w", err)
+		}
+		// The clock records preceding this one already landed the clock on
+		// sj.At; pin it anyway so the sweep's expiry decisions are exactly
+		// the logged ones.
+		d.mu.Lock()
+		d.now = sj.At
+		d.mu.Unlock()
+		_, err := d.Sweep()
+		return err
+	default:
+		return fmt.Errorf("ppdb: unknown WAL record type %d", rec.Type)
+	}
+}
+
+// CloseWAL performs a final group commit and detaches the log. Mutations
+// applied after CloseWAL have no WAL coverage — call only on shutdown,
+// after the last mutation.
+func (d *DB) CloseWAL() error {
+	d.mu.Lock()
+	w := d.wal
+	d.wal = nil
+	d.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// WALAttached reports whether a write-ahead log is armed.
+func (d *DB) WALAttached() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.wal != nil
+}
+
+// WALLastLSN returns the highest LSN the attached log has assigned (the
+// snapshot checkpoint LSN when nothing has been appended yet; 0 with no
+// WAL).
+func (d *DB) WALLastLSN() uint64 {
+	d.mu.RLock()
+	w := d.wal
+	d.mu.RUnlock()
+	if w == nil {
+		return 0
+	}
+	return w.LastLSN()
+}
+
+// Checkpoint saves a snapshot if state changed since the last save, then
+// prunes WAL segments older than the *previous* checkpoint — the retained
+// tail always covers the fallback (.prev) generation too, so recovery
+// works even when the newest snapshot is torn. Returns whether a save ran.
+// Concurrent checkpoints serialize on ckptMu; mutations proceed normally.
+func (d *DB) Checkpoint(dir string) (bool, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	seq := d.mutSeq.Load()
+	if seq == d.savedSeq.Load() {
+		return false, nil
+	}
+	lsn, err := d.save(dir)
+	if err != nil {
+		return false, err
+	}
+	d.savedSeq.Store(seq)
+	d.mu.RLock()
+	w := d.wal
+	d.mu.RUnlock()
+	if w == nil {
+		return true, nil
+	}
+	prev := d.lastCkptLSN
+	d.lastCkptLSN = lsn
+	if err := w.TruncateBefore(prev); err != nil {
+		return true, fmt.Errorf("ppdb: checkpoint truncate: %w", err)
+	}
+	return true, nil
+}

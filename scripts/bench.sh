@@ -1,9 +1,11 @@
 #!/bin/sh
 # Certification benchmark harness: runs the certification benches
 # (BenchmarkCertifyCold / BenchmarkCertifyIncremental /
-# BenchmarkCertifySummary) plus the sharding benches
+# BenchmarkCertifySummary), the sharding benches
 # (BenchmarkCertifyColdShards / BenchmarkBulkIngestShards, one sub-bench
-# per shard count — see bench_test.go) and records ns/op and allocs/op
+# per shard count — see bench_test.go) and the durable-ingest benches
+# (BenchmarkIngestDurable, one sub-bench per WAL group-commit mode) and
+# records ns/op and allocs/op
 # plus the cold→incremental speedup per population size into
 # BENCH_certify.json at the repo root. Wired as `make bench`; not part of
 # `make check`.
@@ -18,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards)}"
+pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable)}"
 out=$(go test -run '^$' -bench "$pattern" \
 	-benchtime "${BENCHTIME:-1s}" -benchmem -timeout 30m .)
 printf '%s\n' "$out"
@@ -46,7 +48,7 @@ NR == FNR {
 	}
 	next
 }
-/^Benchmark(Certify|BulkIngest)/ {
+/^Benchmark(Certify|BulkIngest|Ingest)/ {
 	# -benchmem lines: name iters ns/op-value "ns/op" B-value "B/op"
 	# allocs-value "allocs/op".
 	name = $1; sub(/-[0-9]+$/, "", name)

@@ -20,8 +20,10 @@ fi
 
 # The pattern names every gated bench explicitly, including the sharding
 # benches (CertifyColdShards/BulkIngestShards run one sub-bench per shard
-# count; each sub-bench is compared against its own baseline entry).
-out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards)' \
+# count) and the durable-ingest benches (IngestDurable runs one sub-bench
+# per WAL group-commit mode); each sub-bench is compared against its own
+# baseline entry.
+out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable)' \
 	-benchtime "${BENCHTIME:-1s}" -timeout 30m .)
 printf '%s\n' "$out"
 echo
@@ -38,7 +40,7 @@ NR == FNR {
 	}
 	next
 }
-/^Benchmark(Certify|BulkIngest)/ {
+/^Benchmark(Certify|BulkIngest|Ingest)/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	cur[name] = $3 + 0
 	seen[++n] = name

@@ -1,25 +1,28 @@
 #!/bin/sh
 # CI gate: the full `make check` chain (gofmt, go vet, ppdblint, build,
-# tests), the fault-injection/crash-matrix suite, and a race pass over the
-# concurrency-bearing packages — the PPDB prototype, the relational engine,
-# the ledger, the fault registry (global armed-site state hit from request
-# goroutines), the hardened HTTP layer (in-flight semaphore, readiness
-# flag) and the metrics registry every one of them publishes to.
+# tests), the fault-injection/crash-matrix suite, the WAL durability suite,
+# and a race pass over the concurrency-bearing packages — the PPDB
+# prototype, the relational engine, the ledger, the write-ahead log (group
+# commit runs a background flusher against concurrent appenders), the fault
+# registry (global armed-site state hit from request goroutines), the
+# hardened HTTP layer (in-flight semaphore, readiness flag) and the metrics
+# registry every one of them publishes to.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 make check
 make faults
+make faults-wal
 
 # The race package list is derived from `go list`, not hand-maintained:
 # a rename or deletion of any gated package fails here loudly instead of
 # silently shrinking the race surface.
-race_re='internal/(ledger|ppdb|relational|fault|httpapi|metrics)$'
+race_re='internal/(ledger|ppdb|relational|fault|httpapi|metrics|wal)$'
 race_pkgs=$(go list ./... | grep -E "$race_re" || true)
 count=$(printf '%s' "$race_pkgs" | grep -c . || true)
-if [ "$count" -ne 6 ]; then
-	echo "ci.sh: race list matched $count packages, want 6 — a gated package moved or vanished:" >&2
+if [ "$count" -ne 7 ]; then
+	echo "ci.sh: race list matched $count packages, want 7 — a gated package moved or vanished:" >&2
 	printf '%s\n' "$race_pkgs" >&2
 	exit 1
 fi
