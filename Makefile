@@ -58,8 +58,9 @@ faults-wal:
 		./internal/wal/... ./internal/ppdb/... ./cmd/ppdbserver/...
 
 # bench runs the certification benches and records BENCH_certify.json
-# (cold vs incremental ledger certification, plus the per-shard-count
-# sharding benches). Not part of `make check`.
+# (cold vs incremental ledger certification, the per-shard-count sharding
+# benches, and the enforced-query benches at clean/violating populations).
+# Not part of `make check`.
 bench:
 	./scripts/bench.sh
 
@@ -95,7 +96,8 @@ experiments:
 	go run ./cmd/experiments -run all
 
 # cover enforces a minimum statement coverage on the paper-core packages
-# (internal/core, internal/ledger, internal/ppdb) and leaves coverage.out
+# (internal/core, internal/ledger, internal/ppdb, internal/query) and
+# leaves coverage.out
 # behind for artifact upload. COVER_THRESHOLD overrides the default 70.
 cover:
 	./scripts/cover.sh

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+// TestFindPolicyTuple pins the plan-time gate semantics: exact-purpose
+// tuples win in insertion order, a lattice matcher only widens the search
+// after every exact candidate missed, and unknown attributes or unstated
+// purposes resolve to nothing.
+func TestFindPolicyTuple(t *testing.T) {
+	hp := privacy.NewHousePolicy("hp").
+		Add("email", privacy.Tuple{Purpose: "sharing", Visibility: 4, Granularity: 3, Retention: 5}).
+		Add("email", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 3}).
+		Add("income", privacy.Tuple{Purpose: "research", Visibility: 1, Granularity: 1, Retention: 2})
+
+	lat := privacy.NewLattice()
+	if err := lat.AddEdge("sharing", "bulk-sharing"); err != nil {
+		t.Fatal(err)
+	}
+
+	eq, err := NewAssessor(hp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := NewAssessor(hp, nil, Options{Matcher: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("exact match in insertion order", func(t *testing.T) {
+		ref, ok := eq.FindPolicyTuple("email", "service")
+		if !ok {
+			t.Fatal("expected a tuple for (email, service)")
+		}
+		if ref.Attr != "email" || ref.Index != 1 || ref.Tuple.Purpose != "service" || ref.Tuple.Visibility != 2 {
+			t.Fatalf("wrong ref: %+v", ref)
+		}
+	})
+
+	t.Run("normalizes attribute and purpose", func(t *testing.T) {
+		ref, ok := eq.FindPolicyTuple("email", " Service ")
+		if !ok || ref.Tuple.Purpose != "service" {
+			t.Fatalf("normalized lookup failed: ok=%v ref=%+v", ok, ref)
+		}
+	})
+
+	t.Run("equality matcher does not widen", func(t *testing.T) {
+		if _, ok := eq.FindPolicyTuple("email", "bulk-sharing"); ok {
+			t.Fatal("equality matcher must not cover bulk-sharing via sharing")
+		}
+	})
+
+	t.Run("lattice matcher falls back to covering tuple", func(t *testing.T) {
+		ref, ok := cov.FindPolicyTuple("email", "bulk-sharing")
+		if !ok {
+			t.Fatal("lattice matcher should cover bulk-sharing via sharing")
+		}
+		if ref.Tuple.Purpose != "sharing" || ref.Index != 0 {
+			t.Fatalf("expected the sharing tuple, got %+v", ref)
+		}
+	})
+
+	t.Run("exact still wins under a lattice", func(t *testing.T) {
+		ref, ok := cov.FindPolicyTuple("email", "sharing")
+		if !ok || ref.Tuple.Purpose != "sharing" {
+			t.Fatalf("exact tuple should win: ok=%v ref=%+v", ok, ref)
+		}
+	})
+
+	t.Run("unknown attribute", func(t *testing.T) {
+		if _, ok := eq.FindPolicyTuple("ssn", "service"); ok {
+			t.Fatal("unknown attribute must not resolve")
+		}
+	})
+
+	t.Run("unstated purpose", func(t *testing.T) {
+		if _, ok := cov.FindPolicyTuple("income", "service"); ok {
+			t.Fatal("purpose the policy never states must not resolve")
+		}
+	})
+}
+
+// TestBindingForMatchesReference is the randomized property test for the
+// per-datum lookup: at every resolvable (attribute, purpose) coordinate the
+// columnar fast path must produce a binding identical — minima, binding
+// tuples and implicit flags — to the reference preference walk, across
+// seeds, matchers and the implicit-zero ablation.
+func TestBindingForMatchesReference(t *testing.T) {
+	attrs := []string{"income", "weight", "Email", " Address "}
+	extraAttrs := append(append([]string(nil), attrs...), "uncovered")
+	purposes := []privacy.Purpose{"service", "marketing", "research", "Sharing"}
+	extraPurposes := append(append([]privacy.Purpose(nil), purposes...), "unused")
+
+	lat := privacy.NewLattice()
+	if err := lat.AddEdge("marketing", "sharing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.AddEdge("service", "research"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []int64{1, 42, 2011, 20260809} {
+		for _, opts := range []Options{
+			{},
+			{DisableImplicitZero: true},
+			{Matcher: lat},
+		} {
+			name := fmt.Sprintf("seed=%d/implicit=%v/lattice=%v", seed, !opts.DisableImplicitZero, opts.Matcher != nil)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				hp := randomPolicy(rng, attrs, purposes)
+				a, err := NewAssessor(hp, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 100; i++ {
+					p := randomPrefs(rng, fmt.Sprintf("p%03d", i), extraAttrs, extraPurposes)
+					c := a.Compile(p)
+					if c == nil {
+						t.Fatal("Compile returned nil for a maskable policy")
+					}
+					for _, attr := range extraAttrs {
+						for _, pr := range extraPurposes {
+							ref, ok := a.FindPolicyTuple(attr, pr)
+							if !ok {
+								continue
+							}
+							want := a.bindingReference(p, ref)
+							got := a.BindingFor(p, c, ref)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("provider %d (%s, %s): binding differs\n got: %+v\nwant: %+v",
+									i, attr, pr, got, want)
+							}
+							// A nil compilation must fall back to the same answer.
+							if fb := a.BindingFor(p, nil, ref); !reflect.DeepEqual(fb, want) {
+								t.Fatalf("provider %d (%s, %s): nil-compiled fallback differs", i, attr, pr)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBindingForDispatch covers the fast-path guards: a compilation built
+// under a different policy must not be trusted, and a policy coordinate
+// beyond the cover-mask width must use the reference walk.
+func TestBindingForDispatch(t *testing.T) {
+	hp := privacy.NewHousePolicy("hp").
+		Add("email", privacy.Tuple{Purpose: "service", Visibility: 3, Granularity: 2, Retention: 4})
+	a, err := NewAssessor(hp, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := privacy.NewPrefs("alice", 10).
+		Add("email", privacy.Tuple{Purpose: "service", Visibility: 1, Granularity: 1, Retention: 2})
+	ref, ok := a.FindPolicyTuple("email", "service")
+	if !ok {
+		t.Fatal("policy tuple not found")
+	}
+	want := a.bindingReference(p, ref)
+	if !want.Found || want.V != 1 {
+		t.Fatalf("reference binding unexpected: %+v", want)
+	}
+
+	// A compilation from a different assessor (different policy pointer) is
+	// stale; BindingFor must ignore it and still answer correctly.
+	hp2 := privacy.NewHousePolicy("hp2").
+		Add("email", privacy.Tuple{Purpose: "service", Visibility: 3, Granularity: 2, Retention: 4})
+	a2, err := NewAssessor(hp2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := a2.Compile(p)
+	if got := a.BindingFor(p, stale, ref); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stale compiled binding differs\n got: %+v\nwant: %+v", got, want)
+	}
+
+	// An index past the mask width forces the reference walk even with a
+	// current compilation.
+	wide := ref
+	wide.Index = maxPolicyTuplesPerAttr
+	cur := a.Compile(p)
+	if got := a.BindingFor(p, cur, wide); !reflect.DeepEqual(got, a.bindingReference(p, wide)) {
+		t.Fatal("wide-index binding must match the reference walk")
+	}
+
+	// No preferences at all: the binding reports Found=false and the policy
+	// alone bounds the disclosure.
+	if b := a.BindingFor(nil, nil, ref); b.Found {
+		t.Fatalf("nil prefs must yield an empty binding, got %+v", b)
+	}
+}

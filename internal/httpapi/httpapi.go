@@ -70,6 +70,7 @@ import (
 	"repro/internal/policydsl"
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
+	"repro/internal/query"
 )
 
 // DefaultMaxInFlight is the in-flight request cap used when Options does
@@ -512,18 +513,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// QueryRequest is the POST /v1/query body.
+// QueryRequest is the POST /v1/query body. Explain asks for the per-datum
+// enforcement trace alongside the answer.
 type QueryRequest struct {
 	Requester  string `json:"requester"`
 	Purpose    string `json:"purpose"`
 	Visibility int    `json:"visibility"`
 	SQL        string `json:"sql"`
+	Explain    bool   `json:"explain"`
 }
 
-// QueryResponse is the POST /v1/query result.
+// QueryResponse is the POST /v1/query result: the answer relation, the
+// enforcement stats behind it, and (when requested) the EXPLAIN trace
+// attributing every suppression/generalization/expiry to its cause.
 type QueryResponse struct {
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
+	Columns []string       `json:"columns"`
+	Rows    [][]string     `json:"rows"`
+	Stats   query.Stats    `json:"stats"`
+	Explain *query.Explain `json:"explain,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -532,22 +539,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeBodyErr(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	res, err := s.db.Query(ppdb.AccessRequest{
+	res, err := s.db.QueryEnforced(ppdb.EnforcedQuery{
 		Requester:  req.Requester,
 		Purpose:    privacy.Purpose(req.Purpose),
 		Visibility: privacy.Level(req.Visibility),
 		SQL:        req.SQL,
+		Explain:    req.Explain,
 	})
 	if err != nil {
-		var denied *ppdb.DeniedError
-		if errors.As(err, &denied) {
-			writeErr(w, http.StatusForbidden, err)
-			return
+		verdict := "invalid"
+		status := http.StatusBadRequest
+		var denied *query.DeniedError
+		var unenf *query.UnenforceableError
+		switch {
+		case errors.As(err, &denied):
+			verdict, status = "denied", http.StatusForbidden
+		case errors.As(err, &unenf):
+			verdict = "unenforceable"
 		}
-		writeErr(w, http.StatusBadRequest, err)
+		s.logQuery(&req, verdict, nil)
+		writeErr(w, status, err)
 		return
 	}
-	out := QueryResponse{Columns: res.Columns, Rows: make([][]string, 0, len(res.Rows))}
+	out := QueryResponse{
+		Columns: res.Columns,
+		Rows:    make([][]string, 0, len(res.Rows)),
+		Stats:   res.Stats,
+		Explain: res.Explain,
+	}
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
@@ -555,7 +574,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Rows = append(out.Rows, cells)
 	}
+	s.logQuery(&req, "allowed", &res.Stats)
 	writeJSON(w, http.StatusOK, out)
+}
+
+// logQuery emits the structured access line for one enforced query.
+func (s *Server) logQuery(req *QueryRequest, verdict string, st *query.Stats) {
+	if s.reqLog == nil {
+		return
+	}
+	pairs := []any{"event", "query", "requester", req.Requester,
+		"purpose", req.Purpose, "visibility", req.Visibility, "verdict", verdict}
+	if st != nil {
+		pairs = append(pairs, "rows", st.RowsReturned, "suppressed", st.RowsSuppressed,
+			"generalized", st.CellsGeneralized, "expired", st.CellsExpired)
+	}
+	s.reqLog.Print(kvlog.Line(pairs...))
 }
 
 // alphaParam parses ?alpha=, defaulting to 0.1. The parsed value must be a

@@ -1,0 +1,104 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/privacy"
+	"repro/internal/relational"
+)
+
+// enforcedServer extends the shared fixture with a provider whose weight
+// preference caps visibility below the policy grant, so enforced queries
+// have something to suppress.
+func enforcedServer(t *testing.T) *Server {
+	t.Helper()
+	srv := testServer(t)
+	p := privacy.NewPrefs("nora", 50)
+	p.Add("provider", privacy.Tuple{Purpose: "care", Visibility: 2, Granularity: 3, Retention: 4})
+	p.Add("weight", privacy.Tuple{Purpose: "care", Visibility: 1, Granularity: 3, Retention: 4})
+	if err := srv.db.RegisterProvider(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.db.Insert("t", "nora", relational.Row{
+		relational.Text("nora"), relational.Float(72.5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestQueryEnforcedSuppression checks that POST /v1/query withholds rows
+// whose providers would be violated and reports the work in stats.
+func TestQueryEnforcedSuppression(t *testing.T) {
+	srv := enforcedServer(t)
+	rec := do(t, srv, http.MethodPost, "/v1/query",
+		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT provider, weight FROM t"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "maria" {
+		t.Fatalf("rows = %v, want only maria (nora suppressed)", out.Rows)
+	}
+	if out.Stats.RowsScanned != 2 || out.Stats.RowsSuppressed != 1 || out.Stats.RowsReturned != 1 {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+	if out.Explain != nil {
+		t.Fatal("explain returned without being requested")
+	}
+}
+
+// TestQueryEnforcedExplain checks the explain flag: the response carries
+// the trace, and the suppression names the violating (pref, policy) pair.
+func TestQueryEnforcedExplain(t *testing.T) {
+	srv := enforcedServer(t)
+	rec := do(t, srv, http.MethodPost, "/v1/query",
+		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT weight FROM t","explain":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain == nil || len(out.Explain.Entries) != 1 {
+		t.Fatalf("explain = %+v, want one suppression entry", out.Explain)
+	}
+	e := out.Explain.Entries[0]
+	if e.Provider != "nora" || string(e.Action) != "suppress" || e.Dimension != "visibility" {
+		t.Fatalf("trace = %+v", e)
+	}
+	if e.Pref == nil || e.Pref.Visibility != 1 || e.Policy == nil || e.Policy.Visibility != 2 {
+		t.Fatalf("trace must name the (pref, policy) pair: %+v", e)
+	}
+}
+
+// TestQueryEnforcedErrorMapping checks the error envelope: purpose/class
+// refusals map to 403, unenforceable statements to 400.
+func TestQueryEnforcedErrorMapping(t *testing.T) {
+	srv := enforcedServer(t)
+
+	rec := do(t, srv, http.MethodPost, "/v1/query",
+		`{"requester":"dr","purpose":"care","visibility":3,"sql":"SELECT weight FROM t"}`)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("class refusal status = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "does not admit requester class") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+
+	rec = do(t, srv, http.MethodPost, "/v1/query",
+		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT COUNT(*) FROM t"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unenforceable status = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "not enforceable per datum") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+}

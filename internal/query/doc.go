@@ -1,0 +1,36 @@
+// Package query is the policy-aware query layer over internal/relational
+// (DESIGN.md §15): every SELECT carries a purpose and a requester
+// visibility class, and the executor enforces the paper's four dimensions
+// per datum against the live preference state — not just against the house
+// policy ceiling the legacy ppdb.Query path applies.
+//
+// The pieces:
+//
+//   - Catalog binds stored tables to the privacy model: which column
+//     carries the provider key, and which attribute each column discloses
+//     (the column name itself by default).
+//   - The planner (plan.go) parses the SELECT, refuses constructs whose
+//     cells cannot be attributed to a single (provider, attribute) pair
+//     (joins, aggregates, DISTINCT, grouping, subqueries, computed
+//     projections), and resolves every referenced attribute to its
+//     governing policy tuple for the request purpose — refusing purposes
+//     the policy never stated and requester classes the policy does not
+//     admit.
+//   - The executor (exec.go) scans the base table and materializes, per
+//     row, the view the provider's preferences permit: rows whose
+//     provenance is missing or whose provider would be violated on
+//     visibility are suppressed whole; cells held past the preference's
+//     retention window are refused (NULL); cells are generalized to the
+//     minimum of the policy's and the preference's granularity through the
+//     attribute's hierarchy. WHERE, ORDER BY and the projection all
+//     evaluate over that disclosed view, so no raw value can leak through
+//     filtering or ordering.
+//   - EXPLAIN (explain.go) traces every suppression, generalization and
+//     retention refusal back to the violating (pref, policy) tuple pair.
+//
+// Per-row checks reuse the columnar compilation of internal/core: the
+// planner resolves each attribute to a core.PolicyTupleRef once, and the
+// executor folds preference minima via core.BindingFor — an id-indexed
+// walk over the provider's compiled columns with precomputed purpose cover
+// masks, falling back to the reference walk for unmaskable policies.
+package query

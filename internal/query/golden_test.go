@@ -1,0 +1,80 @@
+package query
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/privacy"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/query -run Golden -update
+var update = flag.Bool("update", false, "rewrite EXPLAIN golden files")
+
+// TestExplainGoldens renders the EXPLAIN trace of representative queries
+// against the fixture world and compares byte-for-byte with the checked-in
+// goldens. On mismatch the rendered text is written next to the golden as
+// <name>.got so CI can upload the pair for inspection.
+func TestExplainGoldens(t *testing.T) {
+	fx := newFixture(t)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{
+			// An index scan narrowed to one conformant provider: the trace
+			// is clean and says so.
+			name: "clean_index_scan",
+			req: Request{Requester: "analyst", Purpose: "service", Visibility: 2,
+				SQL: "SELECT city FROM people WHERE city = 'nice'"},
+		},
+		{
+			// The full gallery: explicit-pref suppression, implicit-zero
+			// suppression, provenance refusals, a pair-attributed
+			// generalization and expiry, and policy-only degradation.
+			name: "enforced_full_scan",
+			req: Request{Requester: "analyst", Purpose: "service", Visibility: 2,
+				SQL: "SELECT provider, email, income FROM people WHERE income > 1000 ORDER BY income DESC"},
+		},
+		{
+			// A second purpose binds a different policy tuple: everything
+			// surviving degrades to the marketing granularity ceiling.
+			name: "marketing_purpose",
+			req: Request{Requester: "mailer", Purpose: privacy.Purpose("marketing"), Visibility: 1,
+				SQL: "SELECT email FROM people"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.req.Explain = true
+			res, err := fx.eng.Query(tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Explain.Render()
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				gotPath := filepath.Join("testdata", tc.name+".got")
+				if werr := os.WriteFile(gotPath, []byte(got), 0o644); werr != nil {
+					t.Logf("could not write %s: %v", gotPath, werr)
+				}
+				t.Fatalf("EXPLAIN output drifted from %s (rendered copy at %s)\n--- got ---\n%s--- want ---\n%s",
+					golden, gotPath, got, want)
+			}
+		})
+	}
+}

@@ -20,10 +20,11 @@ fi
 
 # The pattern names every gated bench explicitly, including the sharding
 # benches (CertifyColdShards/BulkIngestShards run one sub-bench per shard
-# count) and the durable-ingest benches (IngestDurable runs one sub-bench
-# per WAL group-commit mode); each sub-bench is compared against its own
-# baseline entry.
-out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable)' \
+# count), the durable-ingest benches (IngestDurable runs one sub-bench
+# per WAL group-commit mode) and the enforced-query benches (QueryEnforced
+# runs clean and violating populations at 10k/100k rows); each sub-bench
+# is compared against its own baseline entry.
+out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable|QueryEnforced)' \
 	-benchtime "${BENCHTIME:-1s}" -timeout 30m .)
 printf '%s\n' "$out"
 echo
@@ -40,7 +41,7 @@ NR == FNR {
 	}
 	next
 }
-/^Benchmark(Certify|BulkIngest|Ingest)/ {
+/^Benchmark(Certify|BulkIngest|Ingest|Query)/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	cur[name] = $3 + 0
 	seen[++n] = name

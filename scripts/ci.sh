@@ -5,8 +5,9 @@
 # prototype, the relational engine, the ledger, the write-ahead log (group
 # commit runs a background flusher against concurrent appenders), the fault
 # registry (global armed-site state hit from request goroutines), the
-# hardened HTTP layer (in-flight semaphore, readiness flag) and the metrics
-# registry every one of them publishes to.
+# hardened HTTP layer (in-flight semaphore, readiness flag), the enforced
+# query engine (read-side snapshots raced against store mutation) and the
+# metrics registry every one of them publishes to.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,12 +18,16 @@ make faults-wal
 
 # The race package list is derived from `go list`, not hand-maintained:
 # a rename or deletion of any gated package fails here loudly instead of
-# silently shrinking the race surface.
-race_re='internal/(ledger|ppdb|relational|fault|httpapi|metrics|wal)$'
+# silently shrinking the race surface. Both the match regex and the
+# expected count derive from the one name list below, so adding a package
+# is a one-word change.
+race_names='ledger ppdb relational fault httpapi metrics wal query'
+race_re="internal/($(echo "$race_names" | tr ' ' '|'))\$"
+want=$(echo "$race_names" | wc -w | tr -d ' ')
 race_pkgs=$(go list ./... | grep -E "$race_re" || true)
 count=$(printf '%s' "$race_pkgs" | grep -c . || true)
-if [ "$count" -ne 7 ]; then
-	echo "ci.sh: race list matched $count packages, want 7 — a gated package moved or vanished:" >&2
+if [ "$count" -ne "$want" ]; then
+	echo "ci.sh: race list matched $count packages, want $want — a gated package moved or vanished:" >&2
 	printf '%s\n' "$race_pkgs" >&2
 	exit 1
 fi
@@ -31,6 +36,8 @@ go test -race $race_pkgs
 
 # Shard-sweep race pass: the shard-count equivalence suite exercises every
 # cross-shard fan-out/merge path (bulk ingest, rebuild, snapshot render) at
-# 1/2/8 shards. GOMAXPROCS=4 gives the race detector real interleavings of
-# the per-shard goroutines even on single-core runners.
+# 1/2/8 shards, and the sharded enforced-query test races concurrent
+# QueryEnforced snapshots against registration, inserts and policy swaps.
+# GOMAXPROCS=4 gives the race detector real interleavings of the per-shard
+# goroutines even on single-core runners.
 GOMAXPROCS=4 go test -race -run 'Shard|LedgerCertifyEquivalence' ./internal/ppdb ./internal/ledger

@@ -2,8 +2,9 @@
 # Coverage gate: runs the full test suite with an atomic-mode coverage
 # profile (written to coverage.out for CI artifact upload) and enforces a
 # minimum statement coverage on the paper-core packages — the violation
-# model (internal/core), the incremental ledger (internal/ledger) and the
-# PPDB itself (internal/ppdb). Other packages are reported but not gated.
+# model (internal/core), the incremental ledger (internal/ledger), the
+# PPDB itself (internal/ppdb) and the per-datum query engine
+# (internal/query). Other packages are reported but not gated.
 #
 # COVER_THRESHOLD overrides the minimum percentage (default 70).
 set -eu
@@ -21,7 +22,7 @@ printf '%s\n' "$out" | awk -v min="${COVER_THRESHOLD:-70}" '
 }
 END {
 	fail = 0
-	n = split("repro/internal/core repro/internal/ledger repro/internal/ppdb", gated, " ")
+	n = split("repro/internal/core repro/internal/ledger repro/internal/ppdb repro/internal/query", gated, " ")
 	for (i = 1; i <= n; i++) {
 		p = gated[i]
 		if (!(p in cov)) {
