@@ -81,6 +81,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it firewalled)")
 	accessLog := flag.Bool("access-log", true, "log one structured key=value line per request")
+	operatorToken := flag.String("operator-token", "", "token granting the operator privilege (X-Operator-Token header): EXPLAIN traces and exact index-scan counts on POST /v1/query (empty disables both)")
 	shards := flag.Int("shards", 0, "provider-store/ledger shards and certification fan-out width (0 = one per CPU, 1 = serial)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory: mutations are fsync-durable before acknowledgment and replay on restart (empty disables the WAL)")
 	walSyncInterval := flag.Duration("wal-sync-interval", 2*time.Millisecond, "WAL group-commit fsync interval")
@@ -143,7 +144,7 @@ func main() {
 		}
 		log.Print(kvlog.Line("event", "wal_recovered", "dir", *walDir, "replayed", n))
 	}
-	opts := httpapi.Options{}
+	opts := httpapi.Options{OperatorToken: *operatorToken}
 	if *accessLog {
 		opts.RequestLog = log.Default()
 	}

@@ -50,6 +50,7 @@
 package httpapi
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,6 +110,15 @@ type Options struct {
 	// per measured request (probes and /v1/metrics are exempt). nil
 	// disables request logging.
 	RequestLog *log.Logger
+	// OperatorToken grants the operator privilege to requests carrying it
+	// in the X-Operator-Token header. The privilege unlocks the parts of
+	// POST /v1/query that disclose enforcement internals: the EXPLAIN
+	// trace (which names the rows, providers and preference tuples behind
+	// every suppression — exactly what suppression hides from requesters)
+	// and exact index-scan row counts. Empty means no operator exists:
+	// explain requests are refused with 403 and index-scan counts are
+	// always withheld. Compared in constant time.
+	OperatorToken string
 }
 
 // routeDef declares one route: everything the dispatcher needs to know
@@ -148,6 +158,7 @@ type Server struct {
 	paths    map[string]*pathEntry
 	logger   *log.Logger
 	reqLog   *log.Logger
+	opToken  string        // Options.OperatorToken ("" = no operator)
 	inflight chan struct{} // semaphore: one slot per in-flight request
 	ready    atomic.Bool
 
@@ -183,6 +194,7 @@ func NewWith(db *ppdb.DB, opts Options) (*Server, error) {
 		db:       db,
 		logger:   opts.Logger,
 		reqLog:   opts.RequestLog,
+		opToken:  opts.OperatorToken,
 		inflight: make(chan struct{}, opts.MaxInFlight),
 		registry: opts.Metrics,
 		inFlight: opts.Metrics.Gauge("httpapi_in_flight",
@@ -514,7 +526,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // QueryRequest is the POST /v1/query body. Explain asks for the per-datum
-// enforcement trace alongside the answer.
+// enforcement trace alongside the answer; it requires the operator
+// privilege (X-Operator-Token), because the trace names the rows,
+// providers and preference tuples suppression withheld.
 type QueryRequest struct {
 	Requester  string `json:"requester"`
 	Purpose    string `json:"purpose"`
@@ -523,20 +537,92 @@ type QueryRequest struct {
 	Explain    bool   `json:"explain"`
 }
 
+// QueryStats is the wire form of query.Stats. RowsScanned and
+// RowsSuppressed are omitted on index-scan answers served without the
+// operator privilege: the index matches raw stored values, so those
+// counts would tell a requester how many withheld rows carry the probed
+// literal — a per-value oracle on the very data suppression hides. Full
+// scans report them always (there they count the whole table,
+// independent of the predicate). Exact counts stay in the request log,
+// the audit trail and the metrics regardless.
+type QueryStats struct {
+	RowsScanned      *int `json:"rowsScanned,omitempty"`
+	RowsSuppressed   *int `json:"rowsSuppressed,omitempty"`
+	RowsMatched      int  `json:"rowsMatched"`
+	RowsReturned     int  `json:"rowsReturned"`
+	CellsGeneralized int  `json:"cellsGeneralized"`
+	CellsExpired     int  `json:"cellsExpired"`
+}
+
+// wireStats shapes the enforcement stats for the response, withholding
+// the per-literal counts of unprivileged index-scan answers.
+func wireStats(st query.Stats, indexScan, operator bool) QueryStats {
+	out := QueryStats{
+		RowsMatched:      st.RowsMatched,
+		RowsReturned:     st.RowsReturned,
+		CellsGeneralized: st.CellsGeneralized,
+		CellsExpired:     st.CellsExpired,
+	}
+	if !indexScan || operator {
+		scanned, suppressed := st.RowsScanned, st.RowsSuppressed
+		out.RowsScanned, out.RowsSuppressed = &scanned, &suppressed
+	}
+	return out
+}
+
 // QueryResponse is the POST /v1/query result: the answer relation, the
-// enforcement stats behind it, and (when requested) the EXPLAIN trace
-// attributing every suppression/generalization/expiry to its cause.
+// enforcement stats behind it, and (for operators who requested it) the
+// EXPLAIN trace attributing every suppression/generalization/expiry to
+// its cause.
 type QueryResponse struct {
 	Columns []string       `json:"columns"`
 	Rows    [][]string     `json:"rows"`
-	Stats   query.Stats    `json:"stats"`
+	Stats   QueryStats     `json:"stats"`
 	Explain *query.Explain `json:"explain,omitempty"`
+}
+
+// operator reports whether the request carries the configured operator
+// token. With no token configured nothing is privileged.
+func (s *Server) operator(r *http.Request) bool {
+	if s.opToken == "" {
+		return false
+	}
+	got := r.Header.Get("X-Operator-Token")
+	return subtle.ConstantTimeCompare([]byte(got), []byte(s.opToken)) == 1
+}
+
+// queryVerdict classifies a QueryEnforced error into the access-log
+// verdict and HTTP status. Catalog faults are the server's own invariant
+// breaks, not request errors: they map to 500/internal so a
+// misconfigured table is never mistaken for a bad query.
+func queryVerdict(err error) (verdict string, status int) {
+	var denied *query.DeniedError
+	var unenf *query.UnenforceableError
+	var cat *ppdb.CatalogError
+	switch {
+	case errors.As(err, &cat):
+		return "internal", http.StatusInternalServerError
+	case errors.As(err, &denied):
+		return "denied", http.StatusForbidden
+	case errors.As(err, &unenf):
+		return "unenforceable", http.StatusBadRequest
+	}
+	return "invalid", http.StatusBadRequest
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeBodyErr(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	op := s.operator(r)
+	if req.Explain && !op {
+		// The trace discloses the existence, provenance and preferences of
+		// exactly the rows suppression withheld; only operators see it.
+		s.logQuery(&req, "denied", nil)
+		writeErr(w, http.StatusForbidden,
+			errors.New("query: explain requires the operator privilege (X-Operator-Token)"))
 		return
 	}
 	res, err := s.db.QueryEnforced(ppdb.EnforcedQuery{
@@ -547,16 +633,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Explain:    req.Explain,
 	})
 	if err != nil {
-		verdict := "invalid"
-		status := http.StatusBadRequest
-		var denied *query.DeniedError
-		var unenf *query.UnenforceableError
-		switch {
-		case errors.As(err, &denied):
-			verdict, status = "denied", http.StatusForbidden
-		case errors.As(err, &unenf):
-			verdict = "unenforceable"
-		}
+		verdict, status := queryVerdict(err)
 		s.logQuery(&req, verdict, nil)
 		writeErr(w, status, err)
 		return
@@ -564,7 +641,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out := QueryResponse{
 		Columns: res.Columns,
 		Rows:    make([][]string, 0, len(res.Rows)),
-		Stats:   res.Stats,
+		Stats:   wireStats(res.Stats, res.IndexScan, op),
 		Explain: res.Explain,
 	}
 	for _, row := range res.Rows {

@@ -2,11 +2,15 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/ppdb"
 	"repro/internal/privacy"
+	"repro/internal/query"
 	"repro/internal/relational"
 )
 
@@ -30,6 +34,30 @@ func enforcedServer(t *testing.T) *Server {
 	return srv
 }
 
+// operatorToken is the privilege the explain/index-stats tests present.
+const operatorToken = "op-secret"
+
+// operatorServer rebuilds the handler over the same store with the
+// operator privilege configured.
+func operatorServer(t *testing.T, srv *Server) *Server {
+	t.Helper()
+	op, err := NewWith(srv.db, Options{OperatorToken: operatorToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// doOp is do with the operator token attached.
+func doOp(t *testing.T, srv *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	req.Header.Set("X-Operator-Token", operatorToken)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
 // TestQueryEnforcedSuppression checks that POST /v1/query withholds rows
 // whose providers would be violated and reports the work in stats.
 func TestQueryEnforcedSuppression(t *testing.T) {
@@ -46,7 +74,10 @@ func TestQueryEnforcedSuppression(t *testing.T) {
 	if len(out.Rows) != 1 || out.Rows[0][0] != "maria" {
 		t.Fatalf("rows = %v, want only maria (nora suppressed)", out.Rows)
 	}
-	if out.Stats.RowsScanned != 2 || out.Stats.RowsSuppressed != 1 || out.Stats.RowsReturned != 1 {
+	if out.Stats.RowsScanned == nil || out.Stats.RowsSuppressed == nil {
+		t.Fatalf("full-scan stats must carry the counts: %+v", out.Stats)
+	}
+	if *out.Stats.RowsScanned != 2 || *out.Stats.RowsSuppressed != 1 || out.Stats.RowsReturned != 1 {
 		t.Fatalf("stats = %+v", out.Stats)
 	}
 	if out.Explain != nil {
@@ -54,11 +85,12 @@ func TestQueryEnforcedSuppression(t *testing.T) {
 	}
 }
 
-// TestQueryEnforcedExplain checks the explain flag: the response carries
-// the trace, and the suppression names the violating (pref, policy) pair.
+// TestQueryEnforcedExplain checks the explain flag under the operator
+// privilege: the response carries the trace, and the suppression names the
+// violating (pref, policy) pair.
 func TestQueryEnforcedExplain(t *testing.T) {
-	srv := enforcedServer(t)
-	rec := do(t, srv, http.MethodPost, "/v1/query",
+	srv := operatorServer(t, enforcedServer(t))
+	rec := doOp(t, srv, http.MethodPost, "/v1/query",
 		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT weight FROM t","explain":true}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
@@ -76,6 +108,109 @@ func TestQueryEnforcedExplain(t *testing.T) {
 	}
 	if e.Pref == nil || e.Pref.Visibility != 1 || e.Policy == nil || e.Policy.Visibility != 2 {
 		t.Fatalf("trace must name the (pref, policy) pair: %+v", e)
+	}
+}
+
+// TestQueryExplainRequiresOperator pins the privilege gate: the EXPLAIN
+// trace names the rows and preferences suppression withheld, so a request
+// without the operator token — or against a server with no token
+// configured — is refused before the store is touched.
+func TestQueryExplainRequiresOperator(t *testing.T) {
+	body := `{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT weight FROM t","explain":true}`
+
+	srv := enforcedServer(t)
+	// No token configured: even presenting one must not unlock explain.
+	for name, rec := range map[string]*httptest.ResponseRecorder{
+		"no token":  do(t, srv, http.MethodPost, "/v1/query", body),
+		"any token": doOp(t, srv, http.MethodPost, "/v1/query", body),
+	} {
+		if rec.Code != http.StatusForbidden {
+			t.Fatalf("%s: status = %d, want 403: %s", name, rec.Code, rec.Body)
+		}
+		if !strings.Contains(rec.Body.String(), "operator privilege") {
+			t.Fatalf("%s: body = %s", name, rec.Body)
+		}
+	}
+
+	// Token configured but absent or wrong on the request.
+	op := operatorServer(t, srv)
+	rec := do(t, op, http.MethodPost, "/v1/query", body)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("missing token status = %d: %s", rec.Code, rec.Body)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+	req.Header.Set("X-Operator-Token", "wrong")
+	wrong := httptest.NewRecorder()
+	op.ServeHTTP(wrong, req)
+	if wrong.Code != http.StatusForbidden {
+		t.Fatalf("wrong token status = %d: %s", wrong.Code, wrong.Body)
+	}
+
+	// The same query without explain stays open to everyone.
+	rec = do(t, op, http.MethodPost, "/v1/query",
+		`{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT weight FROM t"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unprivileged non-explain query status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestQueryIndexScanStatsWithheld pins the stats oracle fix: an equality
+// probe on an indexed column makes rowsScanned/rowsSuppressed count raw
+// matches of the probed literal, so an unprivileged response omits them;
+// the operator still sees the exact counts.
+func TestQueryIndexScanStatsWithheld(t *testing.T) {
+	srv := enforcedServer(t)
+	// provider is the primary key, so `provider = 'nora'` narrows to the
+	// index — and referencing weight suppresses nora's row, which is
+	// exactly what the raw counts would reveal per probed literal.
+	body := `{"requester":"dr","purpose":"care","visibility":2,"sql":"SELECT provider, weight FROM t WHERE provider = 'nora'"}`
+	rec := do(t, srv, http.MethodPost, "/v1/query", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 0 {
+		t.Fatalf("rows = %v, want none (nora suppressed)", out.Rows)
+	}
+	if out.Stats.RowsScanned != nil || out.Stats.RowsSuppressed != nil {
+		t.Fatalf("index-scan counts leaked to an unprivileged requester: %+v", out.Stats)
+	}
+
+	op := operatorServer(t, srv)
+	rec = doOp(t, op, http.MethodPost, "/v1/query", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("operator status = %d: %s", rec.Code, rec.Body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.RowsScanned == nil || *out.Stats.RowsScanned != 1 || *out.Stats.RowsSuppressed != 1 {
+		t.Fatalf("operator must see exact counts: %+v", out.Stats)
+	}
+}
+
+// TestQueryVerdictMapping checks the error classification, including the
+// catalog invariant break that must surface as a 500, not a client 400.
+func TestQueryVerdictMapping(t *testing.T) {
+	cases := []struct {
+		err     error
+		verdict string
+		status  int
+	}{
+		{&query.DeniedError{Attribute: "weight", Reason: "x"}, "denied", http.StatusForbidden},
+		{&query.UnenforceableError{Construct: "JOIN", Reason: "x"}, "unenforceable", http.StatusBadRequest},
+		{&ppdb.CatalogError{Err: errors.New("table has no provider column")}, "internal", http.StatusInternalServerError},
+		{errors.New("parse error"), "invalid", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		verdict, status := queryVerdict(tc.err)
+		if verdict != tc.verdict || status != tc.status {
+			t.Errorf("queryVerdict(%v) = (%s, %d), want (%s, %d)", tc.err, verdict, status, tc.verdict, tc.status)
+		}
 	}
 }
 

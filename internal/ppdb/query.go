@@ -8,6 +8,7 @@ package ppdb
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"time"
 
@@ -29,6 +30,8 @@ var (
 		"enforced queries by verdict", "verdict", "unenforceable")
 	mQueryInvalid = metrics.Default.Counter("ppdb_query_total",
 		"enforced queries by verdict", "verdict", "invalid")
+	mQueryInternal = metrics.Default.Counter("ppdb_query_total",
+		"enforced queries by verdict", "verdict", "internal")
 	mQuerySeconds = metrics.Default.Histogram("ppdb_query_enforce_seconds",
 		"wall time of per-datum query enforcement", nil)
 )
@@ -88,6 +91,32 @@ func (s enforceSource) Generalize(attr string, v relational.Value, granted priva
 	return s.d.hierarchyFor(attr).Generalize(v, lv)
 }
 
+// HasHierarchy implements query.Source: true only for attributes with a
+// registered generalization hierarchy. Attributes without one fall back to
+// suppress-only degradation ("*" above level 0), which the planner's
+// index-shortcut refusal does not cover — see the API.md caveat.
+func (s enforceSource) HasHierarchy(attr string) bool {
+	_, ok := s.d.hierarchies[strings.ToLower(attr)]
+	return ok
+}
+
+// CatalogError reports a server-side invariant break discovered while
+// binding the live tables into the query catalog — e.g. a registered
+// table whose provider column no longer exists in its schema. It is a
+// fault of the store's configuration, never of the request, so httpapi
+// maps it to 500 rather than the 400 the request-shaped errors get.
+type CatalogError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *CatalogError) Error() string {
+	return fmt.Sprintf("ppdb: query catalog: %v", e.Err)
+}
+
+// Unwrap exposes the underlying bind failure.
+func (e *CatalogError) Unwrap() error { return e.Err }
+
 // QueryEnforced answers a SELECT with per-datum enforcement: rows whose
 // providers would be violated on visibility are suppressed, cells are
 // generalized to the minimum of policy grant and provider preference, and
@@ -102,7 +131,7 @@ func (d *DB) QueryEnforced(q EnforcedQuery) (*query.Result, error) {
 	var bindErr error
 	for _, tm := range d.tables {
 		if err := cat.Bind(tm.table, tm.providerCol, nil); err != nil {
-			bindErr = err
+			bindErr = &CatalogError{Err: err}
 			break
 		}
 	}
@@ -128,7 +157,10 @@ func (d *DB) QueryEnforced(q EnforcedQuery) (*query.Result, error) {
 	if err != nil {
 		var denied *query.DeniedError
 		var unenf *query.UnenforceableError
+		var cat *CatalogError
 		switch {
+		case errors.As(err, &cat):
+			mQueryInternal.Inc()
 		case errors.As(err, &denied):
 			mQueryDenied.Inc()
 		case errors.As(err, &unenf):

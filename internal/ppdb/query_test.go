@@ -636,3 +636,22 @@ func TestShardedEnforcedQueryUnderMutation(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestQueryEnforcedCatalogError pins the server-fault path: a registered
+// table whose provider column no longer resolves is a store invariant
+// break, surfaced as *CatalogError (→ HTTP 500), never as a request error.
+func TestQueryEnforcedCatalogError(t *testing.T) {
+	db, _ := enforcedDB(t)
+	db.tables["patients"].providerCol = "vanished"
+	_, err := db.QueryEnforced(EnforcedQuery{
+		Requester: "nurse", Purpose: "care", Visibility: 2,
+		SQL: "SELECT patient FROM patients",
+	})
+	var cat *CatalogError
+	if !errors.As(err, &cat) {
+		t.Fatalf("err = %T %v, want *CatalogError", err, err)
+	}
+	if !strings.Contains(err.Error(), "vanished") {
+		t.Fatalf("error should name the missing column: %v", err)
+	}
+}

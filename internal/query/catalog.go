@@ -82,6 +82,12 @@ type Source interface {
 	// Generalize degrades v to the granted granularity level through the
 	// attribute's hierarchy (identity at the scale maximum).
 	Generalize(attr string, v relational.Value, granted privacy.Level) relational.Value
+	// HasHierarchy reports whether the attribute has a generalization
+	// hierarchy, i.e. whether Generalize can rewrite its values. The
+	// planner refuses the index shortcut for such columns: the index
+	// matches raw stored values, so a probe for a generalized label would
+	// silently miss rows a full scan answers.
+	HasHierarchy(attr string) bool
 }
 
 // DeniedError is a plan-time refusal: the stated purpose or requester class
@@ -145,12 +151,17 @@ type Stats struct {
 }
 
 // Result is the enforced answer: the relation plus enforcement stats and,
-// when requested, the EXPLAIN trace.
+// when requested, the EXPLAIN trace. IndexScan marks answers produced via
+// Table.Lookup rather than a full scan: their RowsScanned/RowsSuppressed
+// counts depend on the probed literal's raw-value matches, so serving
+// layers must withhold them from unprivileged requesters (a per-literal
+// count of withheld rows is an oracle on suppressed data).
 type Result struct {
-	Columns []string
-	Rows    [][]relational.Value
-	Stats   Stats
-	Explain *Explain
+	Columns   []string
+	Rows      [][]relational.Value
+	Stats     Stats
+	IndexScan bool
+	Explain   *Explain
 }
 
 // Query plans and runs one enforced SELECT.

@@ -15,7 +15,9 @@
 //     projections), and resolves every referenced attribute to its
 //     governing policy tuple for the request purpose — refusing purposes
 //     the policy never stated and requester classes the policy does not
-//     admit.
+//     admit. The index shortcut is declined for columns whose attribute
+//     generalizes (Source.HasHierarchy): the index matches raw values,
+//     and the physical plan must not change the relation.
 //   - The executor (exec.go) scans the base table and materializes, per
 //     row, the view the provider's preferences permit: rows whose
 //     provenance is missing or whose provider would be violated on

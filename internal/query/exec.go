@@ -50,6 +50,7 @@ func (e *Engine) run(p *plan) (*Result, error) {
 	for i, it := range p.items {
 		res.Columns[i] = it.name
 	}
+	res.IndexScan = p.useIdx
 	if p.req.Explain {
 		res.Explain = newExplain(p)
 	}

@@ -194,7 +194,7 @@ func (e *Engine) Plan(req Request) (*plan, error) {
 		u.ref = ref
 	}
 
-	p.pickIndex()
+	p.pickIndex(e.src.HasHierarchy)
 	return p, nil
 }
 
@@ -237,7 +237,12 @@ func collectCols(ex relational.Expr, resolve func(string, bool) (int, error)) er
 
 // pickIndex looks for a top-level equality conjunct on an indexed column
 // and, finding one, narrows the executor from a full scan to Table.Lookup.
-func (p *plan) pickIndex() {
+// Columns whose attribute has a generalization hierarchy never qualify:
+// the index matches raw stored values while WHERE evaluates the disclosed
+// view, so a probe for a generalized label (`WHERE city = 'MA'` when
+// 'Boston' discloses as 'MA') would miss rows a full scan answers — the
+// physical plan must not change the relation.
+func (p *plan) pickIndex(hasHierarchy func(attr string) bool) {
 	for _, conj := range conjuncts(p.where) {
 		bin, ok := conj.(relational.Binary)
 		if !ok || bin.Op != relational.OpEq {
@@ -253,6 +258,9 @@ func (p *plan) pickIndex() {
 		}
 		name := p.schema.Column(idx).Name
 		if !p.binding.Table.HasIndex(name) {
+			continue
+		}
+		if hasHierarchy(p.binding.Attribute(name)) {
 			continue
 		}
 		p.idxCol, p.idxVal, p.useIdx = name, val, true

@@ -25,6 +25,7 @@ type stubSource struct {
 	origins  map[relational.RowID]stubOrigin
 	prefs    map[string]*privacy.Prefs
 	compiled map[string]*core.CompiledPrefs
+	hier     map[string]bool // attributes with a generalization hierarchy
 	now      time.Time
 }
 
@@ -68,6 +69,8 @@ func (s *stubSource) Generalize(attr string, v relational.Value, granted privacy
 	}
 	return v
 }
+
+func (s *stubSource) HasHierarchy(attr string) bool { return s.hier[attr] }
 
 // fixture is the shared test world: seven rows over five providers with one
 // restrictive preference each, plus a NULL-provenance row and an
@@ -151,7 +154,10 @@ func newFixture(t *testing.T) *fixture {
 		origins:  make(map[relational.RowID]stubOrigin),
 		prefs:    prefs,
 		compiled: compiled,
-		now:      now,
+		// email and income carry hierarchies (the attributes the fixture
+		// actually degrades); city does not, so its index stays usable.
+		hier: map[string]bool{"email": true, "income": true},
+		now:  now,
 	}
 
 	rows := []struct {
@@ -507,11 +513,40 @@ func TestIndexScan(t *testing.T) {
 	if res.Explain.Scan != "index(city='paris')" {
 		t.Fatalf("scan = %q, want the city index", res.Explain.Scan)
 	}
+	if !res.IndexScan {
+		t.Fatal("IndexScan flag not set on an index-narrowed answer")
+	}
 	if res.Stats.RowsScanned != 4 {
 		t.Fatalf("index should narrow the scan to 4 candidates, got %d", res.Stats.RowsScanned)
 	}
 	if got := display(res.Rows); !eqStrings(got, []string{"alice@example.com", "c…"}) {
 		t.Fatalf("rows = %v", got)
+	}
+}
+
+// TestIndexSkipsGeneralizableColumn pins plan independence: an index on a
+// column whose attribute generalizes must not be used, because the index
+// matches raw values while WHERE sees the disclosed view — carol's email
+// discloses as "c…", which a raw-value lookup would never surface.
+func TestIndexSkipsGeneralizableColumn(t *testing.T) {
+	fx := newFixture(t)
+	if err := fx.table.CreateIndex("email"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fx.eng.Query(Request{
+		Requester: "analyst", Purpose: "service", Visibility: 2,
+		SQL: "SELECT provider FROM people WHERE email = 'c…'", Explain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain.Scan != "full" || res.IndexScan {
+		t.Fatalf("scan = %q (IndexScan=%v), want a full scan despite the email index", res.Explain.Scan, res.IndexScan)
+	}
+	// The generalized label matches under the full scan; an index lookup
+	// on the raw values would have answered the empty relation.
+	if got := display(res.Rows); !eqStrings(got, []string{"carol"}) {
+		t.Fatalf("rows = %v, want [carol]", got)
 	}
 }
 
