@@ -26,6 +26,7 @@ import (
 	"repro/internal/privacy"
 	"repro/internal/relational"
 	"repro/internal/wal"
+	"repro/internal/whatif"
 )
 
 // BenchmarkTable1 regenerates the Sec. 8 worked example (E1).
@@ -833,5 +834,67 @@ func BenchmarkQueryEnforced(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWhatIfStorm measures concurrent POST /v1/whatif evaluation —
+// the shadow-policy read path under storm load, zero live-state mutation.
+// The population splits 90/10: every provider states preferences on
+// "common", every tenth also on "rare". With implicit zeros disabled the
+// narrow diff (retarget rare) re-assesses only the 10% slice and serves
+// the rest from memoized live reports, while the full diff (retarget
+// common) re-assesses everyone; the gap between the two sub-benches is
+// the price the memo-reuse invariant saves.
+func BenchmarkWhatIfStorm(b *testing.B) {
+	const n = 100000
+	hp := privacy.NewHousePolicy("bench")
+	hp.Add("common", privacy.Tuple{Purpose: "service", Visibility: 2, Granularity: 2, Retention: 2})
+	hp.Add("rare", privacy.Tuple{Purpose: "service", Visibility: 1, Granularity: 1, Retention: 1})
+	pop := make([]*privacy.Prefs, 0, n)
+	for i := 0; i < n; i++ {
+		p := privacy.NewPrefs("p"+itoa(i), float64(5+i%40))
+		p.Add("common", privacy.Tuple{Purpose: "service", Visibility: privacy.Level(1 + i%2), Granularity: 2, Retention: 2})
+		if i%10 == 0 {
+			p.Add("rare", privacy.Tuple{Purpose: "service", Visibility: 1, Granularity: 1, Retention: privacy.Level(1 + i%3)})
+		}
+		pop = append(pop, p)
+	}
+	diffs := []struct {
+		name string
+		diff whatif.Diff
+	}{
+		{"narrow-" + sizeName(n), whatif.Diff{Retarget: []whatif.TupleSpec{
+			{Attribute: "rare", Purpose: "service", Visibility: 3, Granularity: 3, Retention: 3}}}},
+		{"full-" + sizeName(n), whatif.Diff{Retarget: []whatif.TupleSpec{
+			{Attribute: "common", Purpose: "service", Visibility: 3, Granularity: 3, Retention: 3}}}},
+	}
+	for _, d := range diffs {
+		b.Run(d.name, func(b *testing.B) {
+			db, err := ppdb.New(ppdb.Config{
+				Policy:   hp,
+				AttrSens: privacy.AttributeSensitivities{"common": 2, "rare": 6},
+				Options:  core.Options{DisableImplicitZero: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.RegisterProviders(pop); err != nil {
+				b.Fatal(err)
+			}
+			req := &whatif.Request{Diff: d.diff, U: 10, T: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := db.WhatIf(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if resp.Current.N != n || resp.GlobalFallback {
+						b.Fatal("unexpected evaluation shape")
+					}
+				}
+			})
+		})
 	}
 }

@@ -11,11 +11,13 @@
 //
 //	curl -X POST localhost:8080/v1/query -d '{"purpose":"care","visibility":2,"sql":"SELECT ..."}'
 //	curl localhost:8080/v1/certify?alpha=0.1
+//	curl -X POST localhost:8080/v1/whatif -d '{"u":10,"diff":{"retarget":[...]}}'
+//	curl localhost:8080/v1/routes
 //	curl localhost:8080/v1/healthz
 //	curl localhost:8080/v1/metrics
 //
-// (The pre-/v1 unversioned paths still answer, with a Deprecation: true
-// header; see API.md.) -shards controls how many provider-store/ledger
+// (The pre-/v1 unversioned paths still answer, with Deprecation: true and
+// RFC 8594 Sunset headers; see API.md.) -shards controls how many provider-store/ledger
 // shards back the DB — 0, the default, means one per CPU; 1 reproduces the
 // serial pre-sharding behavior. Certification output is byte-identical for
 // every value.

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/whatif"
 )
 
 func silenceStdout(t *testing.T) {
@@ -20,28 +23,80 @@ func silenceStdout(t *testing.T) {
 	})
 }
 
+// captureStdout redirects os.Stdout to a temp file and returns a function
+// that reads back everything written.
+func captureStdout(t *testing.T) func() []byte {
+	t.Helper()
+	old := os.Stdout
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	t.Cleanup(func() {
+		os.Stdout = old
+		f.Close()
+	})
+	return func() []byte {
+		os.Stdout = old
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+}
+
 func TestRunWhatIf(t *testing.T) {
 	silenceStdout(t)
 	cur := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
 	prop := filepath.Join("..", "..", "examples", "corpus", "clinic-v2.dsl")
-	if err := run(cur, prop, 10); err != nil {
+	if err := run(cur, prop, 10, 0, true, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWhatIfJSON pins the -json output to the HTTP wire format: the
+// bytes must decode as a whatif.Response, the shared request/response
+// contract of POST /v1/whatif.
+func TestRunWhatIfJSON(t *testing.T) {
+	read := captureStdout(t)
+	cur := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
+	prop := filepath.Join("..", "..", "examples", "corpus", "clinic-v2.dsl")
+	if err := run(cur, prop, 10, 3, true, true); err != nil {
+		t.Fatal(err)
+	}
+	var resp whatif.Response
+	if err := json.Unmarshal(read(), &resp); err != nil {
+		t.Fatalf("-json output is not a whatif.Response: %v", err)
+	}
+	if resp.Current.N == 0 {
+		t.Error("expected a non-empty population in the JSON response")
+	}
+	if resp.Verdict == "" {
+		t.Error("expected a verdict in the JSON response")
+	}
+	if resp.Affected+resp.MemoReused != resp.Current.N {
+		t.Errorf("affected %d + reused %d != N %d", resp.Affected, resp.MemoReused, resp.Current.N)
 	}
 }
 
 func TestRunWhatIfErrors(t *testing.T) {
 	silenceStdout(t)
 	cur := filepath.Join("..", "..", "examples", "corpus", "clinic.dsl")
-	if err := run("", cur, 10); err == nil {
+	if err := run("", cur, 10, 0, false, false); err == nil {
 		t.Error("missing -current should fail")
 	}
-	if err := run(cur, "", 10); err == nil {
+	if err := run(cur, "", 10, 0, false, false); err == nil {
 		t.Error("missing -proposed should fail")
 	}
-	if err := run("nope.dsl", cur, 10); err == nil {
+	if err := run("nope.dsl", cur, 10, 0, false, false); err == nil {
 		t.Error("missing current file should fail")
 	}
-	if err := run(cur, "nope.dsl", 10); err == nil {
+	if err := run(cur, "nope.dsl", 10, 0, false, false); err == nil {
 		t.Error("missing proposed file should fail")
 	}
 	// Proposed without a policy block.
@@ -49,10 +104,14 @@ func TestRunWhatIfErrors(t *testing.T) {
 	if err := os.WriteFile(tmp, []byte(`provider "a" threshold 5 { }`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(cur, tmp, 10); err == nil {
+	if err := run(cur, tmp, 10, 0, false, false); err == nil {
 		t.Error("policyless proposal should fail")
 	}
-	if err := run(tmp, cur, 10); err == nil {
+	if err := run(tmp, cur, 10, 0, false, false); err == nil {
 		t.Error("current without policy+providers should fail")
+	}
+	// Identical documents produce an empty diff — nothing to evaluate.
+	if err := run(cur, cur, 10, 0, false, false); err == nil {
+		t.Error("identical policies should fail with an empty diff")
 	}
 }

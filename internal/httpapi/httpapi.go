@@ -7,6 +7,7 @@
 //	GET  /v1/certify/summary?alpha=0.1                              → aggregate-only certification (O(1) from the ledger)
 //	GET  /v1/policy                                                 → current policy (DSL text)
 //	PUT  /v1/policy           DSL document with one policy block    → policy change
+//	POST /v1/whatif           {diff, u, t, detail}                  → shadow evaluation of a candidate policy diff
 //	GET  /v1/providers?prefix=&offset=&limit=                       → paginated provider keys
 //	POST /v1/providers        DSL document with provider blocks     → count registered
 //	POST /v1/providers/batch  large DSL document (bulk ingest)      → count registered + shard fan-out
@@ -15,6 +16,7 @@
 //	POST /v1/load?table=T     CSV body with a header row            → rows loaded
 //	GET  /v1/self/audit?provider=N                                  → personal violation report
 //	GET  /v1/self/data?provider=N                                   → the provider's own rows
+//	GET  /v1/routes                                                 → machine-readable route listing
 //	GET  /v1/healthz                                                → liveness probe
 //	GET  /v1/readyz                                                 → readiness probe (503 while draining)
 //	GET  /v1/metrics                                                → Prometheus-text exposition (?format=json for JSON)
@@ -22,7 +24,10 @@
 // Every route is declared once in the route table (method, canonical path,
 // legacy alias, body cap, cap/metrics bypass, handler); the unversioned
 // paths of the pre-/v1 surface are thin aliases onto the same handlers and
-// answer identically except for a "Deprecation: true" response header.
+// answer identically except for "Deprecation: true" and "Sunset" response
+// headers (RFC 9745 / RFC 8594) announcing the documented removal date.
+// GET /v1/routes serves the table itself, so clients and API.md are pinned
+// to the same source of truth.
 //
 // Errors share one JSON envelope, {"error":{"code","message","detail"}},
 // on every path that can produce one: 400s, 403s, 404s for unknown routes,
@@ -72,6 +77,7 @@ import (
 	"repro/internal/ppdb"
 	"repro/internal/privacy"
 	"repro/internal/query"
+	"repro/internal/whatif"
 )
 
 // DefaultMaxInFlight is the in-flight request cap used when Options does
@@ -152,9 +158,15 @@ type pathEntry struct {
 	deprecated bool
 }
 
+// legacySunset is the documented removal date for the unversioned legacy
+// aliases, sent as the Sunset header (RFC 8594) on every legacy response
+// and published by GET /v1/routes and API.md ("Deprecation policy").
+const legacySunset = "Fri, 01 Jan 2027 00:00:00 GMT"
+
 // Server wraps a PPDB with an http.Handler.
 type Server struct {
 	db       *ppdb.DB
+	table    []routeDef // the route table, retained for GET /v1/routes
 	paths    map[string]*pathEntry
 	logger   *log.Logger
 	reqLog   *log.Logger
@@ -221,6 +233,7 @@ func (s *Server) routeTable(metricsHandler http.HandlerFunc) []routeDef {
 		{Method: http.MethodGet, Path: "/v1/certify/summary", Legacy: "/certify/summary", Handler: s.handleCertifySummary},
 		{Method: http.MethodGet, Path: "/v1/policy", Legacy: "/policy", Handler: s.handlePolicyGet},
 		{Method: http.MethodPut, Path: "/v1/policy", Legacy: "/policy", MaxBody: maxDSLBody, Handler: s.handlePolicyPut},
+		{Method: http.MethodPost, Path: "/v1/whatif", MaxBody: maxJSONBody, Handler: s.handleWhatIf},
 		{Method: http.MethodGet, Path: "/v1/providers", Legacy: "/providers", Handler: s.handleProvidersGet},
 		{Method: http.MethodPost, Path: "/v1/providers", Legacy: "/providers", MaxBody: maxDSLBody, Handler: s.handleProvidersPost},
 		{Method: http.MethodPost, Path: "/v1/providers/batch", MaxBody: maxBatchBody, Handler: s.handleProvidersBatch},
@@ -229,6 +242,7 @@ func (s *Server) routeTable(metricsHandler http.HandlerFunc) []routeDef {
 		{Method: http.MethodPost, Path: "/v1/load", Legacy: "/load", MaxBody: maxCSVBody, Handler: s.handleLoad},
 		{Method: http.MethodGet, Path: "/v1/self/audit", Legacy: "/self/audit", Handler: s.handleSelfAudit},
 		{Method: http.MethodGet, Path: "/v1/self/data", Legacy: "/self/data", Handler: s.handleSelfData},
+		{Method: http.MethodGet, Path: "/v1/routes", Handler: s.handleRoutes},
 		{Method: http.MethodGet, Path: "/v1/healthz", Legacy: "/healthz", Bypass: true, Handler: s.handleHealthz},
 		{Method: http.MethodGet, Path: "/v1/readyz", Legacy: "/readyz", Bypass: true, Handler: s.handleReadyz},
 		{Method: http.MethodGet, Path: "/v1/metrics", Legacy: "/metrics", Bypass: true, Handler: metricsHandler},
@@ -240,6 +254,7 @@ func (s *Server) routeTable(metricsHandler http.HandlerFunc) []routeDef {
 // two spellings cannot drift apart.
 func (s *Server) buildPaths(metricsHandler http.HandlerFunc) {
 	table := s.routeTable(metricsHandler)
+	s.table = table
 	s.paths = make(map[string]*pathEntry)
 	entry := func(path, route string, deprecated bool) *pathEntry {
 		e, ok := s.paths[path]
@@ -401,8 +416,14 @@ func (s *Server) serveRoute(w http.ResponseWriter, r *http.Request, e *pathEntry
 	}
 	if e.deprecated {
 		// Legacy unversioned spelling: same handler, same body, plus the
-		// deprecation signal (RFC 9745) pointing clients at /v1.
+		// deprecation signal (RFC 9745) pointing clients at /v1 and the
+		// Sunset date (RFC 8594) after which the alias disappears. The
+		// counter measures how much traffic still needs migrating.
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
+		s.registry.Counter("ppdb_legacy_requests_total",
+			"requests served via deprecated unversioned legacy aliases",
+			"route", e.route).Inc()
 	}
 	if rd.MaxBody > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, rd.MaxBody)
@@ -717,6 +738,72 @@ func (s *Server) handleCertifySummary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sum)
+}
+
+// handleWhatIf serves POST /v1/whatif: a candidate policy diff evaluated
+// against the live population under a shadow policy version — predicted
+// ΔP(W), ΔP(Default), break-even T and the Eq. 28-31 verdict — with zero
+// live-state mutation. The request and response types live in
+// internal/whatif and are shared verbatim with the cmd/whatif CLI. Detail
+// mode (per-segment default counts) requires the operator privilege: the
+// counts disclose how many providers hold preferences on each touched
+// attribute, population structure the base response does not reveal.
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req whatif.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBodyErr(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Detail && !s.operator(r) {
+		// Refused before any store read, like EXPLAIN on /v1/query.
+		writeErr(w, http.StatusForbidden,
+			errors.New("whatif: detail mode requires the operator privilege (X-Operator-Token)"))
+		return
+	}
+	resp, err := s.db.WhatIf(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RouteInfo is one row of the GET /v1/routes listing, derived from the
+// route table entry for one (method, canonical path).
+type RouteInfo struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Legacy is the unversioned alias, if the route has one. Every alias
+	// is deprecated (LegacyDeprecated) and scheduled for removal at
+	// LegacySunset (RFC 8594); canonical /v1 paths never are.
+	Legacy           string `json:"legacy,omitempty"`
+	LegacyDeprecated bool   `json:"legacyDeprecated,omitempty"`
+	LegacySunset     string `json:"legacySunset,omitempty"`
+}
+
+// RoutesResponse is the GET /v1/routes body.
+type RoutesResponse struct {
+	Routes []RouteInfo `json:"routes"`
+	// Sunset echoes the global legacy-alias removal date.
+	Sunset string `json:"sunset"`
+}
+
+// handleRoutes serves the machine-readable route listing straight from the
+// route table, in table order — the same source of truth dispatch uses, so
+// the listing cannot drift from behavior. Canonical /v1 routes are never
+// deprecated; their legacy aliases are, with the shared Sunset date.
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	out := RoutesResponse{Routes: make([]RouteInfo, 0, len(s.table)), Sunset: legacySunset}
+	for i := range s.table {
+		rd := &s.table[i]
+		info := RouteInfo{Method: rd.Method, Path: rd.Path, Legacy: rd.Legacy}
+		if rd.Legacy != "" {
+			info.LegacyDeprecated = true
+			info.LegacySunset = legacySunset
+		}
+		out.Routes = append(out.Routes, info)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handlePolicyGet renders the current policy as DSL text.

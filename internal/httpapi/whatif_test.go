@@ -1,0 +1,269 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/whatif"
+)
+
+func doWithToken(t *testing.T, srv *Server, method, path, body, token string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if token != "" {
+		req.Header.Set("X-Operator-Token", token)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestWhatIfValidationMatrix is the satellite's table: every malformed
+// request answers the 400 envelope with a pinned code, and detail mode
+// without the operator token is refused with a 403 before any store read.
+func TestWhatIfValidationMatrix(t *testing.T) {
+	srv := operatorServer(t, testServer(t))
+	valid := `{"u":10,"diff":{"retarget":[{"attribute":"weight","purpose":"care","visibility":3,"granularity":3,"retention":4}]}}`
+	cases := []struct {
+		name       string
+		body       string
+		token      string
+		wantStatus int
+		wantCode   string
+		wantMsg    string
+	}{
+		{"malformed JSON", `{not json`, "", http.StatusBadRequest, "bad_request", "bad request body"},
+		{"empty diff", `{"u":10,"diff":{}}`, "", http.StatusBadRequest, "bad_request", "empty diff"},
+		{"unknown attribute", `{"u":10,"diff":{"sensitivity":[{"attribute":"ssn","value":3}]}}`,
+			"", http.StatusBadRequest, "bad_request", "unknown attribute"},
+		{"unknown tuple", `{"u":10,"diff":{"remove":[{"attribute":"weight","purpose":"marketing"}]}}`,
+			"", http.StatusBadRequest, "bad_request", "no such tuple"},
+		{"off-scale level", `{"u":10,"diff":{"retarget":[{"attribute":"weight","purpose":"care","visibility":99}]}}`,
+			"", http.StatusBadRequest, "bad_request", "scale"},
+		{"negative u", `{"u":-1,"diff":{"sensitivity":[{"attribute":"weight","value":3}]}}`,
+			"", http.StatusBadRequest, "bad_request", "u"},
+		{"detail without operator", `{"u":10,"detail":true,"diff":{"sensitivity":[{"attribute":"weight","value":3}]}}`,
+			"", http.StatusForbidden, "forbidden", "operator privilege"},
+		{"detail with wrong token", `{"u":10,"detail":true,"diff":{"sensitivity":[{"attribute":"weight","value":3}]}}`,
+			"wrong", http.StatusForbidden, "forbidden", "operator privilege"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doWithToken(t, srv, http.MethodPost, "/v1/whatif", tc.body, tc.token)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d: %s", rec.Code, tc.wantStatus, rec.Body)
+			}
+			var env struct {
+				Error errorInfo `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("not an error envelope: %v: %s", err, rec.Body)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", env.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(env.Error.Message, tc.wantMsg) {
+				t.Errorf("message %q does not mention %q", env.Error.Message, tc.wantMsg)
+			}
+		})
+	}
+	if rec := do(t, srv, http.MethodGet, "/v1/whatif", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/whatif = %d, want 405", rec.Code)
+	}
+	// There is deliberately no legacy alias.
+	if rec := do(t, srv, http.MethodPost, "/whatif", valid); rec.Code != http.StatusNotFound {
+		t.Errorf("legacy /whatif = %d, want 404", rec.Code)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	srv := operatorServer(t, testServer(t))
+	body := `{"name":"v2","u":10,"t":1,"diff":{"retarget":[{"attribute":"weight","purpose":"care","visibility":3,"granularity":3,"retention":4}]}}`
+
+	rec := doWithToken(t, srv, http.MethodPost, "/v1/whatif", body, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp whatif.Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Current.N != 1 || resp.Proposed.N != 1 {
+		t.Errorf("N = %d/%d, want 1/1", resp.Current.N, resp.Proposed.N)
+	}
+	if resp.PolicyName != "v1" || resp.ProposedName != "v2" {
+		t.Errorf("names = %q -> %q", resp.PolicyName, resp.ProposedName)
+	}
+	if resp.ShadowVersion&whatif.ShadowVersionBit == 0 {
+		t.Errorf("shadow version %#x lacks the shadow bit", resp.ShadowVersion)
+	}
+	if resp.Verdict == "" {
+		t.Error("missing verdict")
+	}
+	if len(resp.Segments) != 0 {
+		t.Errorf("segments leaked without detail: %+v", resp.Segments)
+	}
+
+	// Detail mode with the token: segments for the affected attribute.
+	detail := `{"u":10,"detail":true,"diff":{"retarget":[{"attribute":"weight","purpose":"care","visibility":3,"granularity":3,"retention":4}]}}`
+	rec = doWithToken(t, srv, http.MethodPost, "/v1/whatif", detail, operatorToken)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status = %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Segments) != 1 || resp.Segments[0].Attribute != "weight" {
+		t.Errorf("segments = %+v, want one for weight", resp.Segments)
+	}
+}
+
+func TestRoutesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/v1/routes", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var out RoutesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sunset != legacySunset {
+		t.Errorf("sunset = %q, want %q", out.Sunset, legacySunset)
+	}
+	byKey := map[string]RouteInfo{}
+	for _, ri := range out.Routes {
+		byKey[ri.Method+" "+ri.Path] = ri
+	}
+	if len(byKey) != len(out.Routes) {
+		t.Error("duplicate (method, path) rows in /v1/routes")
+	}
+	certify, ok := byKey["GET /v1/certify"]
+	if !ok || certify.Legacy != "/certify" || !certify.LegacyDeprecated || certify.LegacySunset != legacySunset {
+		t.Errorf("GET /v1/certify row = %+v", certify)
+	}
+	for _, key := range []string{"POST /v1/whatif", "GET /v1/routes", "POST /v1/providers/batch"} {
+		ri, ok := byKey[key]
+		if !ok {
+			t.Errorf("%s missing from /v1/routes", key)
+			continue
+		}
+		if ri.Legacy != "" || ri.LegacyDeprecated || ri.LegacySunset != "" {
+			t.Errorf("%s must have no legacy alias: %+v", key, ri)
+		}
+	}
+}
+
+// apiMDRoutes parses the "### METHOD /v1/path — title" headings out of
+// API.md, including combined headings ("GET /v1/healthz, GET /v1/readyz"),
+// stripping example query strings.
+func apiMDRoutes(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	heading := regexp.MustCompile(`(?m)^### (.+)$`)
+	for _, m := range heading.FindAllStringSubmatch(string(data), -1) {
+		title := m[1]
+		if i := strings.Index(title, " — "); i >= 0 {
+			title = title[:i]
+		}
+		for _, part := range strings.Split(title, ", ") {
+			fields := strings.Fields(part)
+			if len(fields) != 2 {
+				t.Fatalf("unparseable API.md heading %q", m[1])
+			}
+			path := fields[1]
+			if i := strings.IndexByte(path, '?'); i >= 0 {
+				path = path[:i]
+			}
+			out[fields[0]+" "+path] = true
+		}
+	}
+	return out
+}
+
+// TestAPIMDPinnedToRouteTable keeps the API.md route list and the live
+// route table in lockstep, both directions: a route added without docs or
+// documented without existing fails here.
+func TestAPIMDPinnedToRouteTable(t *testing.T) {
+	srv := testServer(t)
+	rec := do(t, srv, http.MethodGet, "/v1/routes", "")
+	var out RoutesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	served := map[string]bool{}
+	for _, ri := range out.Routes {
+		served[ri.Method+" "+ri.Path] = true
+	}
+	documented := apiMDRoutes(t)
+	for key := range served {
+		if !documented[key] {
+			t.Errorf("%s is served but has no API.md section", key)
+		}
+	}
+	for key := range documented {
+		if !served[key] {
+			t.Errorf("%s is documented in API.md but not served", key)
+		}
+	}
+}
+
+// metricValue scrapes /v1/metrics for an exact series line and returns its
+// value (0 when the series has not been minted yet).
+func metricValue(t *testing.T, srv *Server, series string) float64 {
+	t.Helper()
+	rec := do(t, srv, http.MethodGet, "/v1/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/metrics = %d", rec.Code)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestLegacySunsetAndCounter pins the deprecation machinery the API.md
+// policy documents: legacy spellings answer with Deprecation + Sunset
+// headers and bump ppdb_legacy_requests_total under the canonical route
+// label; canonical spellings do neither.
+func TestLegacySunsetAndCounter(t *testing.T) {
+	srv := testServer(t)
+	series := `ppdb_legacy_requests_total{route="/v1/certify"}`
+	before := metricValue(t, srv, series)
+
+	rec := do(t, srv, http.MethodGet, "/certify?alpha=0.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy /certify = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Deprecation"); got != "true" {
+		t.Errorf("Deprecation = %q", got)
+	}
+	if got := rec.Header().Get("Sunset"); got != legacySunset {
+		t.Errorf("Sunset = %q, want %q", got, legacySunset)
+	}
+
+	canonical := do(t, srv, http.MethodGet, "/v1/certify?alpha=0.5", "")
+	if canonical.Header().Get("Sunset") != "" || canonical.Header().Get("Deprecation") != "" {
+		t.Error("canonical spelling must carry no deprecation headers")
+	}
+
+	if after := metricValue(t, srv, series); after != before+1 {
+		t.Errorf("legacy counter moved %g -> %g, want +1 (canonical hits must not count)", before, after)
+	}
+}

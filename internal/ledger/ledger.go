@@ -305,6 +305,27 @@ func (l *Ledger) Report(key string) (core.ProviderReport, bool) {
 	return e.report, true
 }
 
+// ReportIfCurrent returns the memoized row for one provider only when it
+// was computed at exactly (policyVersion, prefsVersion) — the read-side
+// memo check the what-if engine (internal/whatif) uses to reuse live
+// reports without risking a stale row racing a concurrent edit. Unlike
+// Report it never returns a row keyed on different versions.
+func (l *Ledger) ReportIfCurrent(key string, policyVersion, prefsVersion uint64) (core.ProviderReport, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.policyVersion != policyVersion {
+		return core.ProviderReport{}, false
+	}
+	s := l.shardOf(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[key]
+	if !ok || e.policyVersion != policyVersion || e.prefsVersion != prefsVersion {
+		return core.ProviderReport{}, false
+	}
+	return e.report, true
+}
+
 // Summary answers P(W), P(Default) and the counts by merging the shards'
 // running partials in fixed shard-index order — O(P), no row is touched.
 func (l *Ledger) Summary() Summary {

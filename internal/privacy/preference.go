@@ -140,6 +140,25 @@ func (p *Prefs) Attributes() []string {
 	return out
 }
 
+// TouchesAttribute reports whether the provider holds any explicit state
+// for attribute attr: preference tuples or recorded σ elements. A provider
+// that touches nothing on an attribute is assessed exactly like the empty
+// preference set there (unit sensitivities, implicit zeros for every house
+// purpose) — the invariant the what-if engine's affected-set pruning
+// (internal/whatif) rests on.
+func (p *Prefs) TouchesAttribute(attr string) bool {
+	a := canonAttr(attr)
+	if len(p.byAttr[a]) > 0 {
+		return true
+	}
+	for k := range p.sens {
+		if k.attr == a {
+			return true
+		}
+	}
+	return false
+}
+
 // SensitivityKey addresses one explicitly recorded σ element; Purpose ""
 // is the per-attribute default.
 type SensitivityKey struct {

@@ -1,0 +1,245 @@
+package whatif
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/privacy"
+)
+
+// tupleKey is the (attribute, purpose) identity of one policy tuple in
+// canonical form — the unit a Diff addresses.
+type tupleKey struct {
+	attr    string
+	purpose privacy.Purpose
+}
+
+func (k tupleKey) String() string { return fmt.Sprintf("(%s, %s)", k.attr, k.purpose) }
+
+func specKey(attr, purpose string) tupleKey {
+	return tupleKey{privacy.CanonAttr(attr), privacy.Purpose(purpose).Normalize()}
+}
+
+// tuple converts the wire spec into a model tuple.
+func (s TupleSpec) tuple() privacy.Tuple {
+	return privacy.Tuple{
+		Purpose:     privacy.Purpose(s.Purpose).Normalize(),
+		Visibility:  privacy.Level(s.Visibility),
+		Granularity: privacy.Level(s.Granularity),
+		Retention:   privacy.Level(s.Retention),
+	}
+}
+
+// specOf converts a model policy tuple back into its wire spec.
+func specOf(pt privacy.PolicyTuple) TupleSpec {
+	return TupleSpec{
+		Attribute:   pt.Attribute,
+		Purpose:     string(pt.Tuple.Purpose),
+		Visibility:  int(pt.Tuple.Visibility),
+		Granularity: int(pt.Tuple.Granularity),
+		Retention:   int(pt.Tuple.Retention),
+	}
+}
+
+// ApplyDiff compiles a candidate diff against the live policy into the
+// shadow policy and shadow house-sensitivity vector, without touching
+// either input. It returns the sorted affected-attribute set: every
+// attribute named by an add, remove, retarget or sensitivity change.
+//
+// The diff is validated structurally against the live policy:
+//
+//   - a remove must name at least one existing tuple (all tuples with that
+//     (attribute, purpose) identity are dropped — the live set model allows
+//     duplicates);
+//   - a retarget must name exactly one existing tuple (ambiguous under
+//     duplicates, an error);
+//   - an add must not collide with a surviving tuple — changing levels of
+//     an existing tuple is what retarget is for;
+//   - a sensitivity change must name an attribute the shadow policy still
+//     covers and carry a finite value (non-negativity is checked by the
+//     standard Σ validation);
+//   - the resulting shadow policy must validate against the scales sc.
+func ApplyDiff(live *privacy.HousePolicy, liveSens privacy.AttributeSensitivities,
+	d *Diff, name string, sc privacy.Scales) (*privacy.HousePolicy, privacy.AttributeSensitivities, []string, error) {
+	if d.Empty() {
+		return nil, nil, nil, fmt.Errorf("whatif: empty diff: nothing to evaluate")
+	}
+
+	affected := map[string]bool{}
+
+	removes := map[tupleKey]bool{}
+	for _, r := range d.Remove {
+		k := specKey(r.Attribute, r.Purpose)
+		if removes[k] {
+			return nil, nil, nil, fmt.Errorf("whatif: duplicate remove of %s", k)
+		}
+		removes[k] = true
+		affected[k.attr] = true
+	}
+
+	retargets := map[tupleKey]privacy.Tuple{}
+	for _, r := range d.Retarget {
+		k := specKey(r.Attribute, r.Purpose)
+		if _, dup := retargets[k]; dup {
+			return nil, nil, nil, fmt.Errorf("whatif: duplicate retarget of %s", k)
+		}
+		if removes[k] {
+			return nil, nil, nil, fmt.Errorf("whatif: tuple %s both removed and retargeted", k)
+		}
+		retargets[k] = r.tuple()
+		affected[k.attr] = true
+	}
+
+	adds := map[tupleKey]bool{}
+	for _, a := range d.Add {
+		k := specKey(a.Attribute, a.Purpose)
+		if adds[k] {
+			return nil, nil, nil, fmt.Errorf("whatif: duplicate add of %s", k)
+		}
+		if _, clash := retargets[k]; clash {
+			return nil, nil, nil, fmt.Errorf("whatif: tuple %s both added and retargeted", k)
+		}
+		adds[k] = true
+		affected[k.attr] = true
+	}
+
+	// Walk the live entries in insertion order so the shadow policy keeps the
+	// per-attribute tuple order of the live one — enumeration (and therefore
+	// float-summation) order only changes where the diff changes it.
+	shadow := privacy.NewHousePolicy(name)
+	removed := map[tupleKey]int{}
+	retargeted := map[tupleKey]int{}
+	for _, e := range live.Entries() {
+		k := tupleKey{e.Attribute, e.Tuple.Purpose}
+		if removes[k] {
+			removed[k]++
+			continue
+		}
+		if t, ok := retargets[k]; ok {
+			retargeted[k]++
+			shadow.Add(e.Attribute, t.WithPurpose(e.Tuple.Purpose))
+			continue
+		}
+		shadow.Add(e.Attribute, e.Tuple)
+	}
+	for k := range removes {
+		if removed[k] == 0 {
+			return nil, nil, nil, fmt.Errorf("whatif: remove of %s: no such tuple in live policy", k)
+		}
+	}
+	for k := range retargets {
+		switch retargeted[k] {
+		case 0:
+			return nil, nil, nil, fmt.Errorf("whatif: retarget of %s: no such tuple in live policy (use add)", k)
+		case 1:
+		default:
+			return nil, nil, nil, fmt.Errorf("whatif: retarget of %s is ambiguous: live policy holds %d tuples with that identity", k, retargeted[k])
+		}
+	}
+	for _, a := range d.Add {
+		k := specKey(a.Attribute, a.Purpose)
+		if _, exists := shadow.Find(k.attr, k.purpose); exists {
+			return nil, nil, nil, fmt.Errorf("whatif: add of %s collides with an existing tuple (use retarget)", k)
+		}
+		shadow.Add(a.Attribute, a.tuple())
+	}
+
+	shadowSens := make(privacy.AttributeSensitivities, len(liveSens)+len(d.Sensitivity))
+	for a, v := range liveSens {
+		shadowSens[a] = v
+	}
+	covered := map[string]bool{}
+	for _, a := range shadow.Attributes() {
+		covered[a] = true
+	}
+	for _, ch := range d.Sensitivity {
+		a := privacy.CanonAttr(ch.Attribute)
+		if !covered[a] {
+			return nil, nil, nil, fmt.Errorf("whatif: sensitivity change for unknown attribute %q: candidate policy does not cover it", a)
+		}
+		if math.IsNaN(ch.Value) || math.IsInf(ch.Value, 0) {
+			return nil, nil, nil, fmt.Errorf("whatif: sensitivity for %q must be finite, got %g", a, ch.Value)
+		}
+		shadowSens.Set(a, ch.Value)
+		affected[a] = true
+	}
+
+	if err := shadow.Validate(sc); err != nil {
+		return nil, nil, nil, fmt.Errorf("whatif: candidate policy invalid: %w", err)
+	}
+	if err := shadowSens.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("whatif: candidate sensitivities invalid: %w", err)
+	}
+
+	attrs := make([]string, 0, len(affected))
+	for a := range affected {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return shadow, shadowSens, attrs, nil
+}
+
+// DiffPolicies derives the Diff that transforms the current policy (and Σ
+// vector) into the proposed one — the inverse of ApplyDiff, used by the
+// cmd/whatif CLI to express two full policy documents as a candidate diff.
+// Both policies must be free of duplicate (attribute, purpose) identities;
+// a duplicate would make the diff ambiguous.
+func DiffPolicies(current, proposed *privacy.HousePolicy,
+	curSens, propSens privacy.AttributeSensitivities) (Diff, error) {
+	index := func(hp *privacy.HousePolicy, label string) (map[tupleKey]privacy.PolicyTuple, []tupleKey, error) {
+		m := map[tupleKey]privacy.PolicyTuple{}
+		var order []tupleKey
+		for _, e := range hp.Entries() {
+			k := tupleKey{e.Attribute, e.Tuple.Purpose}
+			if _, dup := m[k]; dup {
+				return nil, nil, fmt.Errorf("whatif: %s policy holds duplicate tuples for %s; cannot express as a diff", label, k)
+			}
+			m[k] = e
+			order = append(order, k)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].attr != order[j].attr {
+				return order[i].attr < order[j].attr
+			}
+			return order[i].purpose < order[j].purpose
+		})
+		return m, order, nil
+	}
+	cur, curOrder, err := index(current, "current")
+	if err != nil {
+		return Diff{}, err
+	}
+	prop, propOrder, err := index(proposed, "proposed")
+	if err != nil {
+		return Diff{}, err
+	}
+
+	var d Diff
+	for _, k := range curOrder {
+		if _, ok := prop[k]; !ok {
+			d.Remove = append(d.Remove, TupleRef{Attribute: k.attr, Purpose: string(k.purpose)})
+		}
+	}
+	for _, k := range propOrder {
+		pe := prop[k]
+		ce, ok := cur[k]
+		switch {
+		case !ok:
+			d.Add = append(d.Add, specOf(pe))
+		case ce.Tuple != pe.Tuple:
+			d.Retarget = append(d.Retarget, specOf(pe))
+		}
+	}
+	// Σ changes on the attributes the proposed policy covers (an attribute
+	// dropped from the policy contributes nothing whatever its Σ), compared
+	// through the default-1 lens of AttributeSensitivities.Get so absent
+	// entries diff correctly against explicit ones.
+	for _, a := range proposed.Attributes() {
+		//lint:ignore floatcmp Σ values are config constants copied verbatim between documents; an exact compare detects edits, a tolerance would hide them
+		if curSens.Get(a) != propSens.Get(a) {
+			d.Sensitivity = append(d.Sensitivity, SensitivityChange{Attribute: a, Value: propSens.Get(a)})
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,345 @@
+package whatif
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/economics"
+	"repro/internal/privacy"
+)
+
+// ShadowVersionBit marks shadow policy versions: a candidate evaluated by
+// the engine carries the live policy version with this bit set. Live policy
+// versions are small monotonic counters, so the two namespaces are disjoint
+// — a shadow version can never equal a live one, and therefore can never
+// satisfy a ledger's (policyVersion, prefsVersion) memo key.
+const ShadowVersionBit = uint64(1) << 63
+
+// Engine evaluates one candidate diff against provider populations. It is
+// immutable after NewEngine and safe for concurrent Evaluate calls.
+type Engine struct {
+	live   *core.Assessor
+	shadow *core.Assessor
+	req    *Request
+
+	policyName    string
+	proposedName  string
+	policyVersion uint64
+	shadowVersion uint64
+
+	affectedAttrs []string        // sorted attributes the diff touches
+	affectedSet   map[string]bool // same set, for membership tests
+	// allAffected is the global fallback: the diff changes the conflict
+	// structure an *empty* preference set sees on some affected attribute
+	// (implicit-zero conflicts, Sec. 5), so no provider can be proven
+	// unaffected and everyone is re-assessed under the shadow policy.
+	allAffected bool
+}
+
+// NewEngine validates the request, compiles the candidate diff into a
+// shadow assessor, and decides the reuse strategy. live must be the
+// assessor the provider snapshots were compiled against (internal/ppdb's
+// cached one) — the columnar fast path keys on assessor identity.
+// policyVersion is the live policy version the shadow version derives from.
+func NewEngine(live *core.Assessor, attrSens privacy.AttributeSensitivities, opts core.Options,
+	policyVersion uint64, req *Request, sc privacy.Scales) (*Engine, error) {
+	if live == nil {
+		return nil, fmt.Errorf("whatif: nil live assessor")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	livePolicy := live.Policy()
+	proposedName := req.Name
+	if proposedName == "" {
+		proposedName = livePolicy.Name + "+whatif"
+	}
+	shadowPolicy, shadowSens, affected, err := ApplyDiff(livePolicy, attrSens, &req.Diff, proposedName, sc)
+	if err != nil {
+		return nil, err
+	}
+	shadow, err := core.NewAssessor(shadowPolicy, shadowSens, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		live:          live,
+		shadow:        shadow,
+		req:           req,
+		policyName:    livePolicy.Name,
+		proposedName:  proposedName,
+		policyVersion: policyVersion,
+		shadowVersion: policyVersion | ShadowVersionBit,
+		affectedAttrs: affected,
+		affectedSet:   make(map[string]bool, len(affected)),
+	}
+	for _, a := range affected {
+		e.affectedSet[a] = true
+	}
+	e.allAffected = !e.genericConflictsUnchanged()
+	return e, nil
+}
+
+// genericConflictsUnchanged implements the exactness rule behind
+// affected-set pruning. A provider who touches no affected attribute (no
+// explicit preference tuples, no σ elements) is assessed on each affected
+// attribute exactly like the empty preference set: unit sensitivities and,
+// under the Sec. 5 rule, one implicit zero tuple per house purpose. So the
+// provider's report is provably unchanged by the diff iff the empty set's
+// pair conflicts on every affected attribute are identical under the live
+// and shadow assessors. When they differ — the diff widened a tuple past
+// zero, added a purpose, or rescaled Σ where overshoot exists — every
+// preference-less provider's violation amount moves, and only a global
+// re-assessment is exact.
+func (e *Engine) genericConflictsUnchanged() bool {
+	empty := privacy.NewPrefs("", 0)
+	liveRep := e.live.AssessProvider(empty)
+	shadowRep := e.shadow.AssessProvider(empty)
+	byAttr := func(rep core.ProviderReport) map[string][]core.PairConflict {
+		m := map[string][]core.PairConflict{}
+		for _, pc := range rep.Pairs {
+			m[pc.Attribute] = append(m[pc.Attribute], pc)
+		}
+		return m
+	}
+	livePairs, shadowPairs := byAttr(liveRep), byAttr(shadowRep)
+	for _, a := range e.affectedAttrs {
+		if !reflect.DeepEqual(livePairs[a], shadowPairs[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShadowVersion returns the candidate's shadow policy version.
+func (e *Engine) ShadowVersion() uint64 { return e.shadowVersion }
+
+// AffectedAttributes returns the sorted attribute set the diff touches.
+func (e *Engine) AffectedAttributes() []string { return e.affectedAttrs }
+
+// GlobalFallback reports whether the engine must re-assess every provider.
+func (e *Engine) GlobalFallback() bool { return e.allAffected }
+
+// ShardSource is one shard's immutable provider snapshot: parallel slices
+// in ascending key order. Compiled rows may be nil (providers whose prefs
+// did not compile take the reference path); the slice itself may also be
+// nil when no compiled forms exist.
+type ShardSource struct {
+	Keys     []string
+	Prefs    []*privacy.Prefs
+	Compiled []*core.CompiledPrefs
+}
+
+// Memo looks up a memoized live report for shards[shard].Keys[i], returning
+// ok=false when none is current. Implementations must return reports keyed
+// on the live (policy, prefs) version — internal/ppdb wires this to the
+// incremental ledger. A nil Memo always misses.
+type Memo func(shard, i int) (core.ProviderReport, bool)
+
+// shardEval is one shard's evaluation output, merged after the fan-out.
+type shardEval struct {
+	cur, shd []core.ProviderReport
+	affected int
+	reused   int
+	memoHits int
+	// per affected-attribute segment tallies, indexed like affectedAttrs
+	segProviders []int
+	segDefCur    []int
+	segDefShd    []int
+}
+
+// Evaluate assesses the candidate against the provider population in
+// shards, reusing memoized live reports where offered and re-assessing
+// under the shadow policy only the providers the diff can affect. It reads
+// the snapshots and writes nothing anywhere.
+func (e *Engine) Evaluate(shards []ShardSource, memo Memo) *Response {
+	evals := make([]shardEval, len(shards))
+	core.FanOut(len(shards), len(shards), func(si int) {
+		src := shards[si]
+		ev := &evals[si]
+		n := len(src.Keys)
+		ev.cur = make([]core.ProviderReport, n)
+		ev.shd = make([]core.ProviderReport, n)
+		ev.segProviders = make([]int, len(e.affectedAttrs))
+		ev.segDefCur = make([]int, len(e.affectedAttrs))
+		ev.segDefShd = make([]int, len(e.affectedAttrs))
+		var sc core.Scratch
+		for i := 0; i < n; i++ {
+			p := src.Prefs[i]
+			cur, hit := core.ProviderReport{}, false
+			if memo != nil {
+				cur, hit = memo(si, i)
+			}
+			if hit {
+				ev.memoHits++
+			} else {
+				var compiled *core.CompiledPrefs
+				if src.Compiled != nil {
+					compiled = src.Compiled[i]
+				}
+				cur = e.live.AssessRow(p, compiled, &sc)
+			}
+			ev.cur[i] = cur
+
+			touched := e.allAffected
+			for _, a := range e.affectedAttrs {
+				if p.TouchesAttribute(a) {
+					touched = true
+					break
+				}
+			}
+			var shd core.ProviderReport
+			if touched {
+				// Shadow assessments always take the reference path: the
+				// compiled columns were built against the live policy and the
+				// shadow policy is evaluated once per candidate, not per
+				// certification — compiling every provider against it would
+				// cost more than it saves.
+				shd = e.shadow.AssessProvider(p)
+				ev.affected++
+			} else {
+				shd = cur
+				ev.reused++
+			}
+			ev.shd[i] = shd
+
+			if e.req.Detail {
+				for k, a := range e.affectedAttrs {
+					if !p.TouchesAttribute(a) {
+						continue
+					}
+					ev.segProviders[k]++
+					if cur.Defaults {
+						ev.segDefCur[k]++
+					}
+					if shd.Defaults {
+						ev.segDefShd[k]++
+					}
+				}
+			}
+		}
+	})
+
+	// P-way merge into the global ascending key order, so both population
+	// totals are float-summed in the canonical certification order and the
+	// current summary is bit-identical to a full certification.
+	total := 0
+	for _, ev := range evals {
+		total += len(ev.cur)
+	}
+	curRows := make([]core.ProviderReport, 0, total)
+	shdRows := make([]core.ProviderReport, 0, total)
+	cursors := make([]int, len(shards))
+	for len(curRows) < total {
+		best := -1
+		for si := range shards {
+			if cursors[si] >= len(shards[si].Keys) {
+				continue
+			}
+			if best < 0 || shards[si].Keys[cursors[si]] < shards[best].Keys[cursors[best]] {
+				best = si
+			}
+		}
+		curRows = append(curRows, evals[best].cur[cursors[best]])
+		shdRows = append(shdRows, evals[best].shd[cursors[best]])
+		cursors[best]++
+	}
+
+	cur := core.AssemblePopulation(curRows)
+	shd := core.AssemblePopulation(shdRows)
+
+	resp := &Response{
+		PolicyName:         e.policyName,
+		PolicyVersion:      e.policyVersion,
+		ProposedName:       e.proposedName,
+		ShadowVersion:      e.shadowVersion,
+		Current:            summaryOf(cur),
+		Proposed:           summaryOf(shd),
+		DeltaPW:            shd.PW - cur.PW,
+		DeltaPDefault:      shd.PDefault - cur.PDefault,
+		NCurrent:           cur.N - cur.DefaultCount,
+		NFuture:            shd.N - shd.DefaultCount,
+		U:                  e.req.U,
+		T:                  e.req.T,
+		AffectedAttributes: e.affectedAttrs,
+		GlobalFallback:     e.allAffected,
+	}
+	for _, ev := range evals {
+		resp.Affected += ev.affected
+		resp.MemoReused += ev.reused
+	}
+
+	if be := economics.BreakEvenT(e.req.U, resp.NCurrent, resp.NFuture); !math.IsInf(be, 1) {
+		resp.BreakEvenT = &be
+	}
+	resp.Justified = economics.Justified(e.req.U, e.req.T, resp.NCurrent, resp.NFuture)
+	switch {
+	case resp.NFuture >= resp.NCurrent:
+		resp.Verdict = VerdictFree
+	case resp.Justified:
+		resp.Verdict = VerdictJustified
+	default:
+		resp.Verdict = VerdictUnjustified
+	}
+
+	if e.req.Detail {
+		resp.Segments = make([]Segment, len(e.affectedAttrs))
+		for k, a := range e.affectedAttrs {
+			seg := Segment{Attribute: a}
+			for _, ev := range evals {
+				seg.Providers += ev.segProviders[k]
+				seg.DefaultsCurrent += ev.segDefCur[k]
+				seg.DefaultsProposed += ev.segDefShd[k]
+			}
+			resp.Segments[k] = seg
+		}
+	}
+	return resp
+}
+
+func summaryOf(rep core.PopulationReport) Summary {
+	return Summary{
+		N:               rep.N,
+		ViolatedCount:   rep.ViolatedCount,
+		DefaultCount:    rep.DefaultCount,
+		TotalViolations: rep.TotalViolations,
+		PW:              rep.PW,
+		PDefault:        rep.PDefault,
+	}
+}
+
+// EvaluateOffline runs a what-if against an in-memory population with no
+// store, ledger or memoization — the cmd/whatif path. The population is
+// evaluated in ascending case-folded provider order, the same canonical
+// order internal/ppdb certifies in, so offline and online responses for the
+// same state are identical.
+func EvaluateOffline(policy *privacy.HousePolicy, attrSens privacy.AttributeSensitivities,
+	opts core.Options, pop []*privacy.Prefs, req *Request) (*Response, error) {
+	live, err := core.NewAssessor(policy, attrSens, opts)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(live, attrSens, opts, 0, req, privacy.DefaultScales())
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]*privacy.Prefs, len(pop))
+	copy(sorted, pop)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return strings.ToLower(sorted[i].Provider) < strings.ToLower(sorted[j].Provider)
+	})
+	src := ShardSource{
+		Keys:     make([]string, len(sorted)),
+		Prefs:    sorted,
+		Compiled: make([]*core.CompiledPrefs, len(sorted)),
+	}
+	for i, p := range sorted {
+		src.Keys[i] = strings.ToLower(p.Provider)
+		src.Compiled[i] = live.Compile(p)
+	}
+	return e.Evaluate([]ShardSource{src}, nil), nil
+}

@@ -6,7 +6,9 @@
 # per shard count — see bench_test.go) and the durable-ingest benches
 # (BenchmarkIngestDurable, one sub-bench per WAL group-commit mode), the
 # enforced-query benches (BenchmarkQueryEnforced, clean vs violating
-# populations at 10k/100k rows) and records ns/op and allocs/op
+# populations at 10k/100k rows), the what-if storm benches
+# (BenchmarkWhatIfStorm, narrow vs full diff over 100k providers) and
+# records ns/op and allocs/op
 # plus the cold→incremental speedup per population size into
 # BENCH_certify.json at the repo root. Wired as `make bench`; not part of
 # `make check`.
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable|QueryEnforced)}"
+pattern="${BENCH_PATTERN:-^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable|QueryEnforced|WhatIfStorm)}"
 out=$(go test -run '^$' -bench "$pattern" \
 	-benchtime "${BENCHTIME:-1s}" -benchmem -timeout 30m .)
 printf '%s\n' "$out"
@@ -49,7 +51,7 @@ NR == FNR {
 	}
 	next
 }
-/^Benchmark(Certify|BulkIngest|Ingest|Query)/ {
+/^Benchmark(Certify|BulkIngest|Ingest|Query|WhatIf)/ {
 	# -benchmem lines: name iters ns/op-value "ns/op" B-value "B/op"
 	# allocs-value "allocs/op".
 	name = $1; sub(/-[0-9]+$/, "", name)

@@ -24,7 +24,7 @@ fi
 # per WAL group-commit mode) and the enforced-query benches (QueryEnforced
 # runs clean and violating populations at 10k/100k rows); each sub-bench
 # is compared against its own baseline entry.
-out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable|QueryEnforced)' \
+out=$(go test -run '^$' -bench '^Benchmark(Certify(Cold|ColdShards|Incremental|Summary)|BulkIngestShards|IngestDurable|QueryEnforced|WhatIfStorm)' \
 	-benchtime "${BENCHTIME:-1s}" -timeout 30m .)
 printf '%s\n' "$out"
 echo
@@ -41,7 +41,7 @@ NR == FNR {
 	}
 	next
 }
-/^Benchmark(Certify|BulkIngest|Ingest|Query)/ {
+/^Benchmark(Certify|BulkIngest|Ingest|Query|WhatIf)/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	cur[name] = $3 + 0
 	seen[++n] = name

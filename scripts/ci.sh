@@ -21,7 +21,7 @@ make faults-wal
 # silently shrinking the race surface. Both the match regex and the
 # expected count derive from the one name list below, so adding a package
 # is a one-word change.
-race_names='ledger ppdb relational fault httpapi metrics wal query'
+race_names='ledger ppdb relational fault httpapi metrics wal query whatif'
 race_re="internal/($(echo "$race_names" | tr ' ' '|'))\$"
 want=$(echo "$race_names" | wc -w | tr -d ' ')
 race_pkgs=$(go list ./... | grep -E "$race_re" || true)

@@ -3,8 +3,9 @@
 # profile (written to coverage.out for CI artifact upload) and enforces a
 # minimum statement coverage on the paper-core packages — the violation
 # model (internal/core), the incremental ledger (internal/ledger), the
-# PPDB itself (internal/ppdb) and the per-datum query engine
-# (internal/query). Other packages are reported but not gated.
+# PPDB itself (internal/ppdb), the per-datum query engine
+# (internal/query) and the what-if engine (internal/whatif). Other
+# packages are reported but not gated.
 #
 # COVER_THRESHOLD overrides the minimum percentage (default 70).
 set -eu
@@ -22,7 +23,7 @@ printf '%s\n' "$out" | awk -v min="${COVER_THRESHOLD:-70}" '
 }
 END {
 	fail = 0
-	n = split("repro/internal/core repro/internal/ledger repro/internal/ppdb repro/internal/query", gated, " ")
+	n = split("repro/internal/core repro/internal/ledger repro/internal/ppdb repro/internal/query repro/internal/whatif", gated, " ")
 	for (i = 1; i <= n; i++) {
 		p = gated[i]
 		if (!(p in cov)) {
